@@ -1,0 +1,402 @@
+package metaprobe
+
+// Benchmark harness: one benchmark per paper table/figure (DESIGN.md's
+// experiment index) plus the ablations and micro-benchmarks. Each
+// figure benchmark regenerates the corresponding table and prints it
+// once, so `go test -bench=.` reproduces the paper's evaluation
+// artifacts end to end.
+//
+// Benchmarks run on a scaled-down testbed (see experiments.SmallConfig)
+// so the full suite finishes in minutes; run cmd/experiments for the
+// larger default configuration.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/estimate"
+	"metaprobe/internal/experiments"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+	"metaprobe/internal/summary"
+)
+
+// benchEnv is shared across figure benchmarks (setup trains a model
+// and builds a golden standard; rebuilding it per benchmark would
+// dominate every measurement).
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+	benchEnvErr  error
+
+	printOnce sync.Map
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvVal, benchEnvErr = experiments.Setup(experiments.SmallConfig())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// printTable prints an experiment table once per benchmark name.
+func printTable(name string, tables ...*experiments.Table) {
+	if _, loaded := printOnce.LoadOrStore(name, true); loaded {
+		return
+	}
+	for _, t := range tables {
+		fmt.Printf("\n%s\n", t)
+	}
+}
+
+// BenchmarkFigure07SamplingGoodnessPerDB regenerates Figure 7: the
+// chi-square goodness of sampled error distributions per database.
+func BenchmarkFigure07SamplingGoodnessPerDB(b *testing.B) {
+	cfg := experiments.SmallSamplingConfig()
+	for i := 0; i < b.N; i++ {
+		perDB, _, err := experiments.SamplingStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F7", perDB)
+	}
+}
+
+// BenchmarkFigure08SamplingGoodnessAvg regenerates Figure 8: average
+// goodness over the 20 newsgroup databases.
+func BenchmarkFigure08SamplingGoodnessAvg(b *testing.B) {
+	cfg := experiments.SmallSamplingConfig()
+	for i := 0; i < b.N; i++ {
+		_, avg, err := experiments.SamplingStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F8", avg)
+	}
+}
+
+// BenchmarkFigure09QueryTypeEDs regenerates Figure 9: the per-type
+// error distributions of one database.
+func BenchmarkFigure09QueryTypeEDs(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Figure9(env, "OncoLink")
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F9", table)
+	}
+}
+
+// BenchmarkFigure14DatabaseInventory regenerates Figure 14: the
+// mediated-database table.
+func BenchmarkFigure14DatabaseInventory(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		printTable("F14", experiments.Figure14(env))
+	}
+}
+
+// BenchmarkFigure15RDVsBaseline regenerates Figure 15: RD-based
+// selection vs. the term-independence baseline at k ∈ {1, 3}.
+func BenchmarkFigure15RDVsBaseline(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Figure15(env, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F15", table)
+	}
+}
+
+// BenchmarkFigure16CorrectnessVsProbes regenerates Figure 16: average
+// correctness after 0..p probes for the three panels.
+func BenchmarkFigure16CorrectnessVsProbes(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Figure16(env, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F16", table)
+	}
+}
+
+// BenchmarkFigure17ProbesVsThreshold regenerates Figure 17: average
+// probes needed per user-required certainty level.
+func BenchmarkFigure17ProbesVsThreshold(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.Figure17(env, []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("F17", table)
+	}
+}
+
+// BenchmarkAblationProbePolicies regenerates ablation A1: greedy vs
+// random vs by-estimate vs max-entropy probing.
+func BenchmarkAblationProbePolicies(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationPolicies(env, 0.8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("A1", table)
+	}
+}
+
+// BenchmarkAblationTypeThreshold regenerates ablation A2: the
+// query-type split threshold θ.
+func BenchmarkAblationTypeThreshold(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationTypeThreshold(env, []float64{10, 50, 100, 500}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("A2", table)
+	}
+}
+
+// BenchmarkAblationEDBins regenerates ablation A3: histogram
+// resolution and bin representative.
+func BenchmarkAblationEDBins(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationEDBins(env, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("A3", table)
+	}
+}
+
+// BenchmarkAblationTrainingSize regenerates ablation A4: error-model
+// quality vs training-set size.
+func BenchmarkAblationTrainingSize(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationTrainingSize(env, []int{50, 100, 200, 300}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("A4", table)
+	}
+}
+
+// BenchmarkAblationProbeCosts regenerates ablation A5: cost-aware vs
+// cost-blind greedy probing under non-uniform probe costs.
+func BenchmarkAblationProbeCosts(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.AblationProbeCosts(env, 0.8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("A5", table)
+	}
+}
+
+// BenchmarkExtensionBaselineComparison regenerates E-BASE: classical
+// selectors (term-independence, CORI) against RD-based selection and
+// fixed-budget APro.
+func BenchmarkExtensionBaselineComparison(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.BaselineComparison(env, []int{1, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("EBASE", table)
+	}
+}
+
+// --- Micro-benchmarks: the hot paths behind the figures. ---
+
+// BenchmarkEstimate measures one Eq. 1 estimate from a summary.
+func BenchmarkEstimate(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0].String()
+	sum := env.Summaries.Summaries[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Rel.Estimate(sum, q)
+	}
+}
+
+// BenchmarkProbe measures one live probe (boolean-AND match count) on
+// the largest database of the testbed.
+func BenchmarkProbe(b *testing.B) {
+	env := benchEnv(b)
+	big := 0
+	for i, s := range env.Summaries.Summaries {
+		if s.Size > env.Summaries.Summaries[big].Size {
+			big = i
+		}
+	}
+	q := env.Test[0].String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Rel.Probe(env.Testbed.DB(big), q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionBest measures one best-set search (k=3, absolute
+// metric) over 20 database RDs.
+func BenchmarkSelectionBest(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := env.Selection(q, core.Absolute, 3)
+		sel.Best()
+	}
+}
+
+// BenchmarkGreedyProbeStep measures one greedy policy decision (the
+// dominant cost of APro).
+func BenchmarkGreedyProbeStep(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	g := &core.Greedy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := env.Selection(q, core.Absolute, 1)
+		if _, err := g.Next(sel, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainPerDatabase measures learning one database's EDs from
+// 300 training queries.
+func BenchmarkTrainPerDatabase(b *testing.B) {
+	world := corpus.HealthWorld()
+	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(0.01)[:1], 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sums, err := summary.BuildExact(tb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := gen.Pool(stats.NewRNG(1), 150, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := estimate.NewDocFrequency()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Train(tb, sums, rel, train, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures indexing a 1 000-document database.
+func BenchmarkIndexBuild(b *testing.B) {
+	world := corpus.HealthWorld()
+	spec := corpus.DatabaseSpec{
+		Name: "bench", NumDocs: 1000, MeanDocLen: 25,
+		TopicWeights:    map[string]float64{"oncology": 1},
+		ConceptAffinity: 0.4,
+	}
+	docs, err := world.Generate(spec, stats.NewRNG(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hidden.BuildLocal("bench", docs)
+	}
+}
+
+// BenchmarkExtensionCalibration regenerates E-CAL: certainty
+// calibration of RD-based selection.
+func BenchmarkExtensionCalibration(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.CalibrationStudy(env, 1, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ECAL", table)
+	}
+}
+
+// BenchmarkExtensionDrift regenerates E-DRIFT: online refinement under
+// content drift (each iteration builds its own environment — the study
+// mutates a database).
+func BenchmarkExtensionDrift(b *testing.B) {
+	cfg := experiments.SmallConfig()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.DriftStudy(cfg, "CNNHealthNews", 8, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("EDRIFT", table)
+	}
+}
+
+// BenchmarkExtensionFusion regenerates E-FUSE: result-fusion quality
+// against the global top-N ground truth.
+func BenchmarkExtensionFusion(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.FusionStudy(env, 3, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("EFUSE", table)
+	}
+}
+
+// BenchmarkExtensionSampledSummaries regenerates E-SAMP: the pipeline
+// under query-based-sampled content summaries.
+func BenchmarkExtensionSampledSummaries(b *testing.B) {
+	cfg := experiments.SmallConfig()
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.SampledSummariesStudy(cfg, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ESAMP", table)
+	}
+}

@@ -1,0 +1,80 @@
+// Command corpusgen materializes a synthetic testbed to disk: one
+// JSON-Lines file per database plus a manifest, so external tools (or
+// repeated experiment runs) can reuse identical collections.
+//
+// Usage:
+//
+//	go run ./cmd/corpusgen -out corpus/ [-testbed health|newsgroup]
+//	    [-scale 0.05] [-seed 2004]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/stats"
+)
+
+// manifest records how a materialized testbed was produced.
+type manifest struct {
+	Testbed string                `json:"testbed"`
+	Seed    int64                 `json:"seed"`
+	Scale   float64               `json:"scale"`
+	Specs   []corpus.DatabaseSpec `json:"specs"`
+	Files   []string              `json:"files"`
+}
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	testbed := flag.String("testbed", "health", "testbed preset: health or newsgroup")
+	scale := flag.Float64("scale", 0.05, "collection size multiplier")
+	seed := flag.Int64("seed", 2004, "random seed")
+	flag.Parse()
+
+	var world *corpus.World
+	var specs []corpus.DatabaseSpec
+	switch *testbed {
+	case "health":
+		world = corpus.HealthWorld()
+		specs = corpus.HealthTestbed(*scale)
+	case "newsgroup":
+		world = corpus.NewsgroupWorld(*seed)
+		specs = corpus.NewsgroupTestbed(world, *scale)
+	default:
+		log.Fatalf("unknown testbed %q (want health or newsgroup)", *testbed)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	m := manifest{Testbed: *testbed, Seed: *seed, Scale: *scale, Specs: specs}
+	totalDocs := 0
+	for i, spec := range specs {
+		// Derive the stream exactly like hidden.BuildTestbed so the
+		// materialized collections match in-memory experiment runs.
+		docs, err := world.Generate(spec, stats.NewRNG(*seed).Fork(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		file := spec.Name + ".jsonl"
+		if err := corpus.SaveFile(filepath.Join(*out, file), docs); err != nil {
+			log.Fatal(err)
+		}
+		m.Files = append(m.Files, file)
+		totalDocs += len(docs)
+		log.Printf("wrote %-32s %6d docs", file, len(docs))
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "manifest.json"), data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized %d databases (%d documents) in %s\n", len(specs), totalDocs, *out)
+}

@@ -1,0 +1,197 @@
+// Command loadtest replays a query workload against a trained
+// metasearcher and reports end-to-end latency percentiles, probe
+// counts, and throughput. Per-probe network latency is injected so the
+// trade-off the paper's Section 5.2 worries about — every probe is a
+// remote round trip — shows up in wall-clock numbers.
+//
+// Usage:
+//
+//	go run ./cmd/loadtest [-queries 400] [-concurrency 4]
+//	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+)
+
+// loadConfig parameterizes one load-test run.
+type loadConfig struct {
+	scale       float64
+	seed        int64
+	trainN      int
+	numQueries  int
+	concurrency int
+	latency     time.Duration
+	k           int
+	t           float64
+}
+
+// loadReport summarizes a run.
+type loadReport struct {
+	queries     int
+	wall        time.Duration
+	p50, p90    time.Duration
+	p99         time.Duration
+	avgProbes   float64
+	reachedFrac float64
+}
+
+func main() {
+	cfg := loadConfig{}
+	flag.Float64Var(&cfg.scale, "scale", 0.02, "testbed size multiplier")
+	flag.Int64Var(&cfg.seed, "seed", 2004, "random seed")
+	flag.IntVar(&cfg.trainN, "train", 300, "training queries per term count")
+	flag.IntVar(&cfg.numQueries, "queries", 400, "workload size")
+	flag.IntVar(&cfg.concurrency, "concurrency", 4, "concurrent searchers")
+	flag.DurationVar(&cfg.latency, "latency", 5*time.Millisecond, "injected per-probe latency")
+	flag.IntVar(&cfg.k, "k", 3, "databases to select")
+	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold")
+	flag.Parse()
+
+	rep, err := runLoadTest(cfg, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(os.Stdout, cfg, rep)
+}
+
+// runLoadTest builds the testbed, trains, and replays the workload.
+// progress receives human-oriented status lines (pass a no-op for
+// tests).
+func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loadReport, error) {
+	progress("building the testbed (scale %g) with %v per-probe latency...", cfg.scale, cfg.latency)
+	world := corpus.HealthWorld()
+	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(cfg.scale), cfg.seed)
+	if err != nil {
+		return loadReport{}, err
+	}
+	dbs := make([]metaprobe.Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = hidden.NewLatency(tb.DB(i), cfg.latency)
+	}
+	// Summaries and training run against the raw databases (offline
+	// work); only query-time probes pay the latency.
+	raw := make([]metaprobe.Database, tb.Len())
+	for i := range raw {
+		raw[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(raw)
+	if err != nil {
+		return loadReport{}, err
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		return loadReport{}, err
+	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		return loadReport{}, err
+	}
+	trainPool, err := gen.Pool(stats.NewRNG(cfg.seed).Fork(1), cfg.trainN, cfg.trainN)
+	if err != nil {
+		return loadReport{}, err
+	}
+	train := make([]string, len(trainPool))
+	for i, q := range trainPool {
+		train[i] = q.String()
+	}
+	progress("training on %d queries...", len(train))
+	if err := ms.Train(train); err != nil {
+		return loadReport{}, err
+	}
+	half := (cfg.numQueries + 1) / 2
+	workload, err := gen.Pool(stats.NewRNG(cfg.seed).Fork(2), half, cfg.numQueries-half)
+	if err != nil {
+		return loadReport{}, err
+	}
+
+	progress("replaying %d queries with concurrency %d...", len(workload), cfg.concurrency)
+	type sample struct {
+		latency time.Duration
+		probes  int
+		reached bool
+	}
+	samples := make([]sample, len(workload))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range jobs {
+				qStart := time.Now()
+				res, err := ms.SelectWithCertainty(workload[qi].String(), cfg.k, metaprobe.Absolute, cfg.t, -1)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				samples[qi] = sample{latency: time.Since(qStart), probes: res.Probes, reached: res.Reached}
+			}
+		}()
+	}
+	for qi := range workload {
+		jobs <- qi
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return loadReport{}, firstErr
+	}
+	wall := time.Since(start)
+
+	latencies := make([]time.Duration, len(samples))
+	var probes, reached float64
+	for i, s := range samples {
+		latencies[i] = s.latency
+		probes += float64(s.probes)
+		if s.reached {
+			reached++
+		}
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	return loadReport{
+		queries:     len(workload),
+		wall:        wall,
+		p50:         pct(0.50),
+		p90:         pct(0.90),
+		p99:         pct(0.99),
+		avgProbes:   probes / float64(len(workload)),
+		reachedFrac: reached / float64(len(workload)),
+	}, nil
+}
+
+// printReport renders the report.
+func printReport(w *os.File, cfg loadConfig, rep loadReport) {
+	fmt.Fprintf(w, "\nqueries          %d (k=%d, t=%.2f, %v/probe, concurrency %d)\n",
+		rep.queries, cfg.k, cfg.t, cfg.latency, cfg.concurrency)
+	fmt.Fprintf(w, "wall time        %v (%.1f qps)\n", rep.wall.Round(time.Millisecond),
+		float64(rep.queries)/rep.wall.Seconds())
+	fmt.Fprintf(w, "latency p50      %v\n", rep.p50.Round(time.Microsecond))
+	fmt.Fprintf(w, "latency p90      %v\n", rep.p90.Round(time.Microsecond))
+	fmt.Fprintf(w, "latency p99      %v\n", rep.p99.Round(time.Microsecond))
+	fmt.Fprintf(w, "avg probes       %.2f\n", rep.avgProbes)
+	fmt.Fprintf(w, "reached target   %.1f%%\n", rep.reachedFrac*100)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLoadTest(t *testing.T) {
+	cfg := loadConfig{
+		scale:       0.005,
+		seed:        7,
+		trainN:      60,
+		numQueries:  30,
+		concurrency: 2,
+		latency:     time.Millisecond,
+		k:           1,
+		t:           0.8,
+	}
+	noop := func(string, ...any) {}
+	rep, err := runLoadTest(cfg, noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.queries != 30 {
+		t.Errorf("queries = %d", rep.queries)
+	}
+	if rep.p50 <= 0 || rep.p90 < rep.p50 || rep.p99 < rep.p90 {
+		t.Errorf("percentiles out of order: %v %v %v", rep.p50, rep.p90, rep.p99)
+	}
+	if rep.avgProbes < 0 || rep.avgProbes > 20 {
+		t.Errorf("avg probes %v out of range", rep.avgProbes)
+	}
+	if rep.reachedFrac <= 0 || rep.reachedFrac > 1 {
+		t.Errorf("reached fraction %v out of range", rep.reachedFrac)
+	}
+	// With 1ms injected latency, a query probing at least once must
+	// take at least 1ms at p99.
+	if rep.avgProbes > 0.5 && rep.p99 < time.Millisecond {
+		t.Errorf("p99 %v below injected latency despite %v avg probes", rep.p99, rep.avgProbes)
+	}
+}

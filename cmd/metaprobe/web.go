@@ -1,0 +1,184 @@
+package main
+
+import (
+	"flag"
+	"html/template"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+)
+
+// web serves a browser front-end over a trained metasearcher: a search
+// form, the fused results with snippets, and the selection diagnostics
+// (which databases were chosen, at what certainty, with how many
+// probes).
+func web(args []string) {
+	fs := flag.NewFlagSet("web", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	scale := fs.Float64("scale", 0.02, "testbed size multiplier")
+	trainN := fs.Int("train", 300, "training queries per term count")
+	seed := fs.Int64("seed", 2004, "random seed")
+	fs.Parse(args)
+
+	log.Printf("building and training the metasearcher (scale %g)...", *scale)
+	ms, err := buildDemoMetasearcher(*scale, *seed, *trainN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving the metasearch UI on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, NewWebUI(ms)))
+}
+
+// buildDemoMetasearcher assembles the health testbed behind the web UI.
+func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Metasearcher, error) {
+	world := corpus.HealthWorld()
+	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(scale), seed)
+	if err != nil {
+		return nil, err
+	}
+	dbs := make([]metaprobe.Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(dbs)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := gen.Pool(stats.NewRNG(seed).Fork(1), trainN, trainN)
+	if err != nil {
+		return nil, err
+	}
+	train := make([]string, len(pool))
+	for i, q := range pool {
+		train[i] = q.String()
+	}
+	if err := ms.Train(train); err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+// WebUI is the HTTP handler of the metasearch front-end.
+type WebUI struct {
+	ms  *metaprobe.Metasearcher
+	tpl *template.Template
+}
+
+// NewWebUI wraps a trained metasearcher as a browser UI.
+func NewWebUI(ms *metaprobe.Metasearcher) *WebUI {
+	return &WebUI{ms: ms, tpl: template.Must(template.New("page").Parse(webPage))}
+}
+
+// webData feeds the page template.
+type webData struct {
+	Query     string
+	K         int
+	T         float64
+	Ran       bool
+	Elapsed   string
+	Selection *metaprobe.SelectionResult
+	Items     []metaprobe.MergedResult
+	Explain   []metaprobe.Explanation
+	Error     string
+	Databases []string
+}
+
+// ServeHTTP implements http.Handler.
+func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	data := webData{K: 3, T: 0.9, Databases: u.ms.Databases()}
+	q := r.URL.Query().Get("q")
+	if kStr := r.URL.Query().Get("k"); kStr != "" {
+		if k, err := strconv.Atoi(kStr); err == nil && k >= 1 && k <= len(data.Databases) {
+			data.K = k
+		}
+	}
+	if tStr := r.URL.Query().Get("t"); tStr != "" {
+		if t, err := strconv.ParseFloat(tStr, 64); err == nil && t >= 0 && t <= 1 {
+			data.T = t
+		}
+	}
+	if q != "" {
+		data.Query = q
+		data.Ran = true
+		start := time.Now()
+		items, sel, err := u.ms.Metasearch(q, data.K, metaprobe.Partial, data.T, 10)
+		if err != nil {
+			data.Error = err.Error()
+		} else {
+			data.Items = items
+			data.Selection = sel
+			if expl, err := u.ms.Explain(q, data.K); err == nil {
+				// Show only databases with some signal, most likely first.
+				for _, e := range expl {
+					if e.MembershipProb >= 0.01 || e.Estimate > 0 {
+						data.Explain = append(data.Explain, e)
+					}
+				}
+			}
+		}
+		data.Elapsed = time.Since(start).Round(time.Millisecond).String()
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := u.tpl.Execute(w, data); err != nil {
+		log.Printf("web: rendering: %v", err)
+	}
+}
+
+// webPage is the single-page template (no external assets: the tool
+// must work offline).
+const webPage = `<!DOCTYPE html>
+<html><head><title>metaprobe</title><style>
+body { font-family: system-ui, sans-serif; max-width: 60rem; margin: 2rem auto; padding: 0 1rem; }
+input[type=text] { width: 24rem; padding: .4rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+td, th { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; }
+.result { margin: .8rem 0; }
+.db { color: #567; font-size: .85em; }
+.snippet { color: #333; }
+.err { color: #a00; }
+.meta { color: #666; font-size: .9em; }
+</style></head><body>
+<h1>metaprobe</h1>
+<p class="meta">probabilistic metasearch over {{len .Databases}} Hidden-Web databases
+(Liu, Luo, Cho, Chu — ICDE 2004)</p>
+<form method="GET" action="/">
+<input type="text" name="q" value="{{.Query}}" placeholder="breast cancer" autofocus>
+k=<input type="number" name="k" value="{{.K}}" min="1" style="width:3rem">
+certainty=<input type="number" name="t" value="{{.T}}" min="0" max="1" step="0.05" style="width:4rem">
+<button type="submit">Search</button>
+</form>
+{{if .Error}}<p class="err">{{.Error}}</p>{{end}}
+{{if .Ran}}{{if .Selection}}
+<p class="meta">selected <b>{{range $i, $d := .Selection.Databases}}{{if $i}}, {{end}}{{$d}}{{end}}</b>
+with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}} probes
+({{.Elapsed}}{{if not .Selection.Reached}}; requested certainty not reachable{{end}})</p>
+{{range .Items}}
+<div class="result">
+<div><b>{{.Doc.ID}}</b> <span class="db">{{.Database}} · score {{printf "%.3f" .Score}}</span></div>
+<div class="snippet">{{.Snippet}}</div>
+</div>
+{{else}}<p>No results.</p>{{end}}
+{{if .Explain}}
+<h3>Why these databases?</h3>
+<table><tr><th>database</th><th>estimate r̂</th><th>E[relevancy]</th><th>P(top-k)</th><th>query type</th></tr>
+{{range .Explain}}<tr><td>{{.Database}}</td><td>{{printf "%.1f" .Estimate}}</td>
+<td>{{printf "%.1f" .ExpectedRelevancy}}</td><td>{{printf "%.3f" .MembershipProb}}</td>
+<td>{{.QueryType}}</td></tr>{{end}}
+</table>
+{{end}}{{end}}{{end}}
+</body></html>`

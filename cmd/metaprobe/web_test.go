@@ -1,0 +1,63 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWebUIEndToEnd(t *testing.T) {
+	ms, err := buildDemoMetasearcher(0.005, 7, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWebUI(ms))
+	defer srv.Close()
+
+	get := func(url string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// The landing page shows the form, no results.
+	home := get(srv.URL + "/")
+	if !strings.Contains(home, "metaprobe") || !strings.Contains(home, "<form") {
+		t.Error("landing page missing form")
+	}
+	if strings.Contains(home, "selected <b>") {
+		t.Error("landing page should not show a selection")
+	}
+
+	// A query renders results, selection metadata and diagnostics.
+	page := get(srv.URL + "/?q=breast+cancer&k=2&t=0.8")
+	for _, want := range []string{"selected <b>", "certainty", "probes", "Why these databases?"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("result page missing %q", want)
+		}
+	}
+
+	// Out-of-range parameters fall back to defaults instead of failing.
+	page = get(srv.URL + "/?q=cancer&k=999&t=7")
+	if !strings.Contains(page, "selected <b>") {
+		t.Error("fallback parameters did not produce a result page")
+	}
+
+	// Script injection in the query must be escaped by the template.
+	page = get(srv.URL + "/?q=" + strings.ReplaceAll("<script>alert(1)</script>", " ", "+"))
+	if strings.Contains(page, "<script>alert(1)</script>") {
+		t.Error("query text not HTML-escaped")
+	}
+}

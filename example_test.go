@@ -1,0 +1,52 @@
+package metaprobe_test
+
+import (
+	"fmt"
+
+	"metaprobe"
+)
+
+// Example demonstrates the three selection tiers on a miniature
+// metasearcher. The oncology archive is the right answer for the
+// query, and the probabilistic model knows it with certainty 1 because
+// the other databases cannot match both terms.
+func Example() {
+	onco := metaprobe.NewLocalDatabase("onco", map[string]string{
+		"o1": "breast cancer screening guidelines",
+		"o2": "breast cancer treatment outcomes",
+		"o3": "lung cancer staging",
+	})
+	news := metaprobe.NewLocalDatabase("news", map[string]string{
+		"n1": "local election coverage",
+		"n2": "weather report for tuesday",
+	})
+	dbs := []metaprobe.Database{onco, news}
+	sums, err := metaprobe.ExactSummaries(dbs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := ms.Train([]string{
+		"breast cancer", "cancer treatment", "cancer screening",
+		"election coverage", "weather report", "lung cancer",
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fmt.Println("baseline:", ms.SelectBaseline("breast cancer", 1))
+	set, certainty, err := ms.Select("breast cancer", 1, metaprobe.Absolute)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("RD-based: %v with certainty %.2f\n", set, certainty)
+	// Output:
+	// baseline: [onco]
+	// RD-based: [onco] with certainty 1.00
+}

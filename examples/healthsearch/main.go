@@ -1,0 +1,114 @@
+// Command healthsearch recreates the paper's evaluation scenario as an
+// interactive tool: a metasearcher mediating 20 health-related
+// databases (Figure 14), trained on a synthetic query log, answering
+// ad-hoc queries with all three selection tiers side by side.
+//
+// Usage:
+//
+//	go run ./examples/healthsearch [-k 3] [-t 0.9] [-scale 0.02] [query terms...]
+//
+// Without query arguments it runs a demonstration batch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+)
+
+func main() {
+	k := flag.Int("k", 3, "number of databases to select")
+	t := flag.Float64("t", 0.9, "user-required certainty level")
+	scale := flag.Float64("scale", 0.02, "testbed size multiplier")
+	seed := flag.Int64("seed", 2004, "random seed")
+	train := flag.Int("train", 400, "training queries per term-count")
+	flag.Parse()
+
+	fmt.Printf("building the 20-database health testbed (scale %g)...\n", *scale)
+	world := corpus.HealthWorld()
+	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(*scale), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbs := make([]metaprobe.Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(dbs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("training the error model on %d queries...\n", 2**train)
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := gen.Pool(stats.NewRNG(*seed).Fork(1), *train, *train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainStrs := make([]string, len(pool))
+	for i, q := range pool {
+		trainStrs[i] = q.String()
+	}
+	if err := ms.Train(trainStrs); err != nil {
+		log.Fatal(err)
+	}
+
+	var batch []string
+	if flag.NArg() > 0 {
+		batch = []string{strings.Join(flag.Args(), " ")}
+	} else {
+		batch = []string{
+			"breast cancer", "heart attack", "blood pressure",
+			"clinical trial", "weight loss", "bone marrow transplant",
+		}
+	}
+	for _, query := range batch {
+		answer(ms, query, *k, *t)
+	}
+}
+
+// answer prints the three selection tiers for one query.
+func answer(ms *metaprobe.Metasearcher, query string, k int, t float64) {
+	fmt.Printf("\n=== %q (k=%d, t=%.2f) ===\n", query, k, t)
+	fmt.Printf("  baseline:  %v\n", ms.SelectBaseline(query, k))
+
+	set, certainty, err := ms.Select(query, k, metaprobe.Absolute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  RD-based:  %v (certainty %.3f)\n", set, certainty)
+
+	res, err := ms.SelectWithCertainty(query, k, metaprobe.Absolute, t, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "reached"
+	if !res.Reached {
+		status = "NOT reached"
+	}
+	fmt.Printf("  APro:      %v (certainty %.3f, %d probes, %s)\n",
+		res.Databases, res.Certainty, res.Probes, status)
+
+	items, _, err := ms.Metasearch(query, k, metaprobe.Partial, t, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  top fused results:")
+	for i, it := range items {
+		fmt.Printf("    %d. [%s] %s (%.3f)\n", i+1, it.Database, it.Doc.ID, it.Score)
+	}
+}

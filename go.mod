@@ -1,0 +1,3 @@
+module metaprobe
+
+go 1.22

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"metaprobe/internal/stats"
+)
+
+// ED is an error distribution for one (database, query type) pair
+// (Section 4, Figure 4): a histogram either of relative estimation
+// errors err = (r − r̂)/r̂ (Eq. 2), or — for the r̂ = 0 band, where the
+// relative error is undefined — of absolute relevancy values.
+type ED struct {
+	// Absolute marks a histogram over absolute relevancy values
+	// (BandZero) instead of relative errors.
+	Absolute bool
+	// Hist accumulates the observations.
+	Hist *stats.Histogram
+	// UseBinMean selects the per-bin observed mean as each bin's
+	// representative value in derived RDs (sharper); false uses the
+	// bin midpoint (the ablation A3 baseline).
+	UseBinMean bool
+}
+
+// NewED creates an empty error distribution with the given bin edges.
+func NewED(edges []float64, absolute, useBinMean bool) (*ED, error) {
+	h, err := stats.NewHistogram(edges)
+	if err != nil {
+		return nil, fmt.Errorf("core: ED: %w", err)
+	}
+	return &ED{Absolute: absolute, Hist: h, UseBinMean: useBinMean}, nil
+}
+
+// Observe records one training observation: the estimate r̂ and the
+// actual relevancy r for a sample query.
+func (e *ED) Observe(rhat, actual float64) error {
+	if math.IsNaN(rhat) || math.IsNaN(actual) || actual < 0 {
+		return fmt.Errorf("core: ED observation rhat=%v actual=%v is invalid", rhat, actual)
+	}
+	if e.Absolute {
+		e.Hist.Add(actual)
+		return nil
+	}
+	if rhat <= 0 {
+		return fmt.Errorf("core: relative ED cannot observe rhat=%v; route to the zero band", rhat)
+	}
+	e.Hist.Add((actual - rhat) / rhat) // Eq. 2
+	return nil
+}
+
+// Observations returns the number of recorded training observations.
+func (e *ED) Observations() int64 { return e.Hist.Total() }
+
+// RD derives the relevancy distribution for a new query with estimate
+// rhat (Section 3.1, Example 3): each occupied bin contributes its
+// probability at value r̂·(1 + e_bin) — or at the bin's absolute value
+// for the zero band. Values are floored at 0 (relevancies cannot be
+// negative).
+func (e *ED) RD(rhat float64) (*RD, error) {
+	if e.Hist.Total() == 0 {
+		return nil, fmt.Errorf("core: ED has no observations")
+	}
+	n := e.Hist.Bins()
+	values := make([]float64, 0, n)
+	probs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := e.Hist.Prob(i)
+		if p == 0 {
+			continue
+		}
+		rep := e.Hist.Midpoint(i)
+		if e.UseBinMean {
+			rep = e.Hist.BinMean(i)
+		}
+		var v float64
+		if e.Absolute {
+			v = rep
+		} else {
+			v = rhat * (1 + rep)
+		}
+		if v < 0 {
+			v = 0
+		}
+		values = append(values, v)
+		probs = append(probs, p)
+	}
+	return NewRD(values, probs)
+}
+
+// Probs returns the per-bin probabilities (for chi-square comparisons
+// and reports).
+func (e *ED) Probs() []float64 { return e.Hist.Probs() }
+
+// Clone deep-copies the distribution.
+func (e *ED) Clone() *ED {
+	return &ED{Absolute: e.Absolute, Hist: e.Hist.Clone(), UseBinMean: e.UseBinMean}
+}
+
+// Compare runs the Pearson chi-square test of this (sampled) ED's
+// observations against a reference (ideal) ED's probabilities,
+// implementing the Section 4.2 goodness measure. Both must share bin
+// edges. minExpected pools sparse bins (0 keeps all; the paper's 10
+// bins / df 9 setup corresponds to minExpected 0).
+func (e *ED) Compare(ideal *ED, minExpected float64) (stats.ChiSquareResult, error) {
+	if len(e.Hist.Edges) != len(ideal.Hist.Edges) {
+		return stats.ChiSquareResult{}, fmt.Errorf("core: comparing EDs with different binning")
+	}
+	return stats.PearsonChiSquare(e.Hist.Counts, ideal.Probs(), minExpected)
+}
+
+// DefaultErrorEdges are the relative-error bins used for document
+// frequency relevancy: finer near zero, an overflow bin above +400%
+// (correlated terms routinely produce errors of several hundred
+// percent). The lower bound −1 is exact: r ≥ 0 implies err ≥ −100%.
+func DefaultErrorEdges() []float64 {
+	return []float64{-1, -0.9, -0.75, -0.5, -0.25, -0.05, 0.05, 0.25, 0.5, 1.0, 2.0, 4.0, math.Inf(1)}
+}
+
+// DefaultAbsoluteEdges are the bins for the r̂ = 0 band of document
+// frequency relevancy: most mass sits at exactly 0, with a geometric
+// tail for sampled-summary surprises.
+func DefaultAbsoluteEdges() []float64 {
+	return []float64{0, 1, 2, 5, 10, 25, 50, 100, 500, math.Inf(1)}
+}
+
+// SimilarityErrorEdges are relative-error bins suited to cosine
+// relevancy in [0, 1] (errors are milder than for counts).
+func SimilarityErrorEdges() []float64 {
+	return []float64{-1, -0.75, -0.5, -0.3, -0.15, -0.05, 0.05, 0.15, 0.3, 0.5, 1.0, math.Inf(1)}
+}
+
+// SimilarityAbsoluteEdges are absolute bins for the r̂ = 0 band of
+// cosine relevancy.
+func SimilarityAbsoluteEdges() []float64 {
+	return []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0000001}
+}

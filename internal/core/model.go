@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"metaprobe/internal/estimate"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/summary"
+)
+
+// Config parameterizes model training.
+type Config struct {
+	// Classifier is the query-type decision tree (default: the paper's
+	// threshold-100, up-to-4-terms tree).
+	Classifier Classifier
+	// ErrorEdges are the relative-error histogram bins (default
+	// DefaultErrorEdges).
+	ErrorEdges []float64
+	// AbsoluteEdges are the bins for the r̂ = 0 band (default
+	// DefaultAbsoluteEdges).
+	AbsoluteEdges []float64
+	// UseBinMean selects per-bin observed means as RD support values
+	// (default true; false = midpoints, ablation A3).
+	UseBinMean bool
+	// MinObservations is the minimum training observations a
+	// (database, type) ED needs before it is trusted; sparser types
+	// fall back to the database's pooled ED (default 10).
+	MinObservations int64
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation (document-frequency relevancy).
+func DefaultConfig() Config {
+	return Config{
+		Classifier:      DefaultClassifier(),
+		ErrorEdges:      DefaultErrorEdges(),
+		AbsoluteEdges:   DefaultAbsoluteEdges(),
+		UseBinMean:      true,
+		MinObservations: 10,
+	}
+}
+
+// SimilarityConfig returns a configuration suited to the
+// document-similarity relevancy definition (cosine values in [0, 1]).
+func SimilarityConfig() Config {
+	return Config{
+		Classifier:      Classifier{Threshold: 0.3, MaxTerms: 4},
+		ErrorEdges:      SimilarityErrorEdges(),
+		AbsoluteEdges:   SimilarityAbsoluteEdges(),
+		UseBinMean:      true,
+		MinObservations: 10,
+	}
+}
+
+func (c *Config) setDefaults() {
+	if c.Classifier == (Classifier{}) {
+		c.Classifier = DefaultClassifier()
+	}
+	if c.ErrorEdges == nil {
+		c.ErrorEdges = DefaultErrorEdges()
+	}
+	if c.AbsoluteEdges == nil {
+		c.AbsoluteEdges = DefaultAbsoluteEdges()
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 10
+	}
+}
+
+// DBModel holds the learned distributions for one database: one ED per
+// query type (Figure 9) plus a pooled fallback over all non-zero-band
+// training queries.
+type DBModel struct {
+	// Name is the database's name.
+	Name string
+	// EDs maps query type → learned error distribution.
+	EDs map[TypeKey]*ED
+	// Pooled aggregates all relative-error observations of the
+	// database, the fallback for sparsely observed types.
+	Pooled *ED
+}
+
+// Model is the trained probabilistic relevancy model for a testbed: the
+// per-database, per-query-type error distributions together with the
+// summaries and relevancy definition needed to produce RDs for unseen
+// queries.
+type Model struct {
+	// Cfg is the training configuration.
+	Cfg Config
+	// Rel is the relevancy definition and estimator.
+	Rel estimate.Relevancy
+	// Summaries are the per-database content summaries, in testbed
+	// order.
+	Summaries *summary.Set
+	// DBs are the per-database learned distributions, in testbed order.
+	DBs []*DBModel
+}
+
+// Train learns the error distributions by sampling every database with
+// the training queries (Section 4): for each (database, query) pair it
+// computes the estimate from the summary, probes the database for the
+// actual relevancy, classifies the query, and accumulates the error in
+// the matching ED. Databases are trained concurrently.
+func Train(tb *hidden.Testbed, sums *summary.Set, rel estimate.Relevancy, train []queries.Query, cfg Config) (*Model, error) {
+	cfg.setDefaults()
+	if tb.Len() == 0 {
+		return nil, fmt.Errorf("core: training needs at least one database")
+	}
+	if len(sums.Summaries) != tb.Len() {
+		return nil, fmt.Errorf("core: %d summaries for %d databases", len(sums.Summaries), tb.Len())
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: training needs at least one query")
+	}
+	m := &Model{Cfg: cfg, Rel: rel, Summaries: sums, DBs: make([]*DBModel, tb.Len())}
+
+	var wg sync.WaitGroup
+	errs := make([]error, tb.Len())
+	for dbIdx := 0; dbIdx < tb.Len(); dbIdx++ {
+		wg.Add(1)
+		go func(dbIdx int) {
+			defer wg.Done()
+			m.DBs[dbIdx], errs[dbIdx] = trainOne(tb.DB(dbIdx), sums.Summaries[dbIdx], rel, train, cfg)
+		}(dbIdx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// trainOne learns one database's EDs.
+func trainOne(db hidden.Database, sum *summary.Summary, rel estimate.Relevancy, train []queries.Query, cfg Config) (*DBModel, error) {
+	dm := &DBModel{Name: db.Name(), EDs: make(map[TypeKey]*ED)}
+	var err error
+	dm.Pooled, err = NewED(cfg.ErrorEdges, false, cfg.UseBinMean)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range train {
+		qs := q.String()
+		rhat := rel.Estimate(sum, qs)
+		actual, err := rel.Probe(db, qs)
+		if err != nil {
+			return nil, fmt.Errorf("core: training %s on %q: %w", db.Name(), qs, err)
+		}
+		key := cfg.Classifier.Classify(q.NumTerms(), rhat)
+		ed, ok := dm.EDs[key]
+		if !ok {
+			edges := cfg.ErrorEdges
+			absolute := key.Band == BandZero
+			if absolute {
+				edges = cfg.AbsoluteEdges
+			}
+			ed, err = NewED(edges, absolute, cfg.UseBinMean)
+			if err != nil {
+				return nil, err
+			}
+			dm.EDs[key] = ed
+		}
+		if err := ed.Observe(rhat, actual); err != nil {
+			return nil, fmt.Errorf("core: training %s on %q: %w", db.Name(), qs, err)
+		}
+		if key.Band != BandZero {
+			if err := dm.Pooled.Observe(rhat, actual); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dm, nil
+}
+
+// RDFor derives the relevancy distribution of database dbIdx for an
+// unseen query: estimate, classify, apply the learned ED (falling back
+// to the pooled ED, then to an impulse at the estimate when the
+// database was never observed in a comparable regime).
+func (m *Model) RDFor(dbIdx int, query string, numTerms int) (*RD, float64) {
+	sum := m.Summaries.Summaries[dbIdx]
+	rhat := m.Rel.Estimate(sum, query)
+	key := m.Cfg.Classifier.Classify(numTerms, rhat)
+	dm := m.DBs[dbIdx]
+
+	if ed, ok := dm.EDs[key]; ok && ed.Observations() >= m.Cfg.MinObservations {
+		if rd, err := ed.RD(rhat); err == nil {
+			return rd, rhat
+		}
+	}
+	if key.Band != BandZero && dm.Pooled.Observations() >= m.Cfg.MinObservations {
+		if rd, err := dm.Pooled.RD(rhat); err == nil {
+			return rd, rhat
+		}
+	}
+	// No usable error model: trust the estimate outright.
+	return Impulse(rhat), rhat
+}
+
+// Selection is the per-query state: the RDs of all databases, which of
+// them have been probed, and the target metric and k.
+type Selection struct {
+	// Metric is the correctness definition being optimized.
+	Metric Metric
+	// K is the number of databases to select.
+	K int
+	// Query is the user's query string.
+	Query string
+
+	rds       []*RD
+	estimates []float64
+	probed    []bool
+	opts      BestSetOptions
+}
+
+// NewSelection builds the initial (unprobed) state for a query.
+func (m *Model) NewSelection(query string, numTerms int, metric Metric, k int) *Selection {
+	n := len(m.DBs)
+	s := &Selection{
+		Metric:    metric,
+		K:         k,
+		Query:     query,
+		rds:       make([]*RD, n),
+		estimates: make([]float64, n),
+		probed:    make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		s.rds[i], s.estimates[i] = m.RDFor(i, query, numTerms)
+	}
+	return s
+}
+
+// NewSelectionFromRDs builds a selection directly from RDs (tests and
+// paper examples).
+func NewSelectionFromRDs(rds []*RD, metric Metric, k int) *Selection {
+	ests := make([]float64, len(rds))
+	for i, rd := range rds {
+		ests[i] = rd.Mean()
+	}
+	return &Selection{
+		Metric:    metric,
+		K:         k,
+		rds:       append([]*RD(nil), rds...),
+		estimates: ests,
+		probed:    make([]bool, len(rds)),
+	}
+}
+
+// WithBestSetOptions overrides the set-search options used by Best and
+// returns the selection for chaining.
+func (s *Selection) WithBestSetOptions(opts BestSetOptions) *Selection {
+	s.opts = opts
+	return s
+}
+
+// Len returns the number of databases.
+func (s *Selection) Len() int { return len(s.rds) }
+
+// RD returns database i's current relevancy distribution.
+func (s *Selection) RD(i int) *RD { return s.rds[i] }
+
+// Estimate returns r̂ for database i.
+func (s *Selection) Estimate(i int) float64 { return s.estimates[i] }
+
+// Probed reports whether database i has been probed.
+func (s *Selection) Probed(i int) bool { return s.probed[i] }
+
+// Unprobed lists the databases not yet probed, in index order.
+func (s *Selection) Unprobed() []int {
+	var out []int
+	for i, p := range s.probed {
+		if !p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ApplyProbe records a probe outcome: database i's RD collapses to an
+// impulse at the observed relevancy.
+func (s *Selection) ApplyProbe(i int, value float64) {
+	s.rds[i] = Impulse(value)
+	s.probed[i] = true
+}
+
+// MarkUnprobeable excludes a database from future probing without
+// changing its RD (used when a live probe fails).
+func (s *Selection) MarkUnprobeable(i int) { s.probed[i] = true }
+
+// Best returns the current best k-set and its expected correctness.
+func (s *Selection) Best() ([]int, float64) {
+	return BestSet(s.Metric, s.rds, s.K, s.opts)
+}
+
+// Marginals returns P(dbᵢ ∈ top-k) for every database — the
+// membership probabilities behind the selection, useful for
+// explaining a decision to a user or operator.
+func (s *Selection) Marginals() []float64 {
+	out := make([]float64, len(s.rds))
+	for i := range s.rds {
+		out[i] = MembershipProb(s.rds, i, s.K)
+	}
+	return out
+}
+
+// BaselineSelect returns the k databases with the highest estimates
+// (ties by index) — the term-independence-estimator baseline the paper
+// compares against. The result is sorted by index.
+func (s *Selection) BaselineSelect() []int {
+	return TopKByScore(s.estimates, s.K)
+}
+
+// withHypothesis evaluates f with database i's RD temporarily replaced
+// by an impulse at v (the greedy policy's "consider all the outcomes of
+// probing dbᵢ", Figure 13).
+func (s *Selection) withHypothesis(i int, v float64, f func()) {
+	old := s.rds[i]
+	s.rds[i] = Impulse(v)
+	f()
+	s.rds[i] = old
+}
+
+// TopKByScore returns the indices of the k highest scores, ties broken
+// by lower index, result sorted by index.
+func TopKByScore(scores []float64, k int) []int {
+	n := len(scores)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	set := append([]int(nil), order[:k]...)
+	sort.Ints(set)
+	return set
+}
+
+// RankByScore returns all indices ordered by (score desc, index asc) —
+// the golden-standard ordering.
+func RankByScore(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// equalFloat reports approximate equality for expectation comparisons.
+func equalFloat(a, b float64) bool { return math.Abs(a-b) <= probEpsilon }

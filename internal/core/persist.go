@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"metaprobe/internal/estimate"
+	"metaprobe/internal/summary"
+)
+
+// Model training is the expensive, offline part of the pipeline
+// (Section 4: thousands of probe queries per database). This file
+// serializes a trained model to JSON so a metasearcher can train once
+// and reload at startup.
+//
+// The relevancy definition is stored by name and resolved on load;
+// custom definitions can be registered with RegisterRelevancy.
+
+// relevancyFactories maps relevancy names to constructors for Load.
+var relevancyFactories = map[string]func() estimate.Relevancy{
+	"doc-frequency":  func() estimate.Relevancy { return estimate.NewDocFrequency() },
+	"doc-similarity": func() estimate.Relevancy { return estimate.NewDocSimilarity() },
+}
+
+// RegisterRelevancy makes a custom relevancy definition loadable by
+// name. Registering a name twice is an error.
+func RegisterRelevancy(name string, factory func() estimate.Relevancy) error {
+	if _, dup := relevancyFactories[name]; dup {
+		return fmt.Errorf("core: relevancy %q already registered", name)
+	}
+	relevancyFactories[name] = factory
+	return nil
+}
+
+// jsonModel is the persisted form of a Model.
+type jsonModel struct {
+	Relevancy string             `json:"relevancy"`
+	Config    jsonConfig         `json:"config"`
+	Summaries []*summary.Summary `json:"summaries"`
+	DBs       []jsonDBModel      `json:"dbs"`
+}
+
+type jsonConfig struct {
+	Threshold       float64   `json:"threshold"`
+	MaxTerms        int       `json:"maxTerms"`
+	ErrorEdges      []float64 `json:"errorEdges"`
+	AbsoluteEdges   []float64 `json:"absoluteEdges"`
+	UseBinMean      bool      `json:"useBinMean"`
+	MinObservations int64     `json:"minObservations"`
+}
+
+type jsonDBModel struct {
+	Name   string   `json:"name"`
+	EDs    []jsonED `json:"eds"`
+	Pooled *jsonED  `json:"pooled"`
+}
+
+type jsonED struct {
+	Terms    int       `json:"terms"`
+	Band     int       `json:"band"`
+	Absolute bool      `json:"absolute"`
+	Edges    []float64 `json:"edges"`
+	Counts   []int64   `json:"counts"`
+	Sums     []float64 `json:"sums"`
+}
+
+// infinity survives JSON round-trips as this sentinel (JSON has no
+// Inf literal).
+const infSentinel = math.MaxFloat64
+
+func encodeEdges(edges []float64) []float64 {
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		switch {
+		case math.IsInf(e, 1):
+			out[i] = infSentinel
+		case math.IsInf(e, -1):
+			out[i] = -infSentinel
+		default:
+			out[i] = e
+		}
+	}
+	return out
+}
+
+func decodeEdges(edges []float64) []float64 {
+	out := make([]float64, len(edges))
+	for i, e := range edges {
+		switch e {
+		case infSentinel:
+			out[i] = math.Inf(1)
+		case -infSentinel:
+			out[i] = math.Inf(-1)
+		default:
+			out[i] = e
+		}
+	}
+	return out
+}
+
+func encodeED(key TypeKey, ed *ED) jsonED {
+	return jsonED{
+		Terms:    key.Terms,
+		Band:     int(key.Band),
+		Absolute: ed.Absolute,
+		Edges:    encodeEdges(ed.Hist.Edges),
+		Counts:   append([]int64(nil), ed.Hist.Counts...),
+		Sums:     append([]float64(nil), ed.Hist.Sums...),
+	}
+}
+
+func decodeED(j jsonED, useBinMean bool) (*ED, error) {
+	ed, err := NewED(decodeEdges(j.Edges), j.Absolute, useBinMean)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.Counts) != ed.Hist.Bins() || len(j.Sums) != ed.Hist.Bins() {
+		return nil, fmt.Errorf("core: persisted ED has %d counts / %d sums for %d bins",
+			len(j.Counts), len(j.Sums), ed.Hist.Bins())
+	}
+	copy(ed.Hist.Counts, j.Counts)
+	copy(ed.Hist.Sums, j.Sums)
+	return ed, nil
+}
+
+// Save writes the trained model to path as JSON.
+func (m *Model) Save(path string) error {
+	jm := jsonModel{
+		Relevancy: m.Rel.Name(),
+		Config: jsonConfig{
+			Threshold:       m.Cfg.Classifier.Threshold,
+			MaxTerms:        m.Cfg.Classifier.MaxTerms,
+			ErrorEdges:      encodeEdges(m.Cfg.ErrorEdges),
+			AbsoluteEdges:   encodeEdges(m.Cfg.AbsoluteEdges),
+			UseBinMean:      m.Cfg.UseBinMean,
+			MinObservations: m.Cfg.MinObservations,
+		},
+		Summaries: m.Summaries.Summaries,
+	}
+	for _, dm := range m.DBs {
+		jd := jsonDBModel{Name: dm.Name}
+		// Stable order: iterate the classifier's key enumeration.
+		for _, key := range m.Cfg.Classifier.AllKeys() {
+			if ed, ok := dm.EDs[key]; ok {
+				jd.EDs = append(jd.EDs, encodeED(key, ed))
+			}
+		}
+		if dm.Pooled != nil {
+			pooled := encodeED(TypeKey{}, dm.Pooled)
+			jd.Pooled = &pooled
+		}
+		jm.DBs = append(jm.DBs, jd)
+	}
+	data, err := json.MarshalIndent(jm, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model saved by Save. The relevancy definition is
+// reconstructed by name.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return nil, fmt.Errorf("core: decoding model %s: %w", path, err)
+	}
+	factory, ok := relevancyFactories[jm.Relevancy]
+	if !ok {
+		return nil, fmt.Errorf("core: model uses unknown relevancy %q (register it with RegisterRelevancy)", jm.Relevancy)
+	}
+	if len(jm.DBs) == 0 {
+		return nil, fmt.Errorf("core: model %s has no databases", path)
+	}
+	if len(jm.Summaries) != len(jm.DBs) {
+		return nil, fmt.Errorf("core: model %s has %d summaries for %d databases", path, len(jm.Summaries), len(jm.DBs))
+	}
+	for _, s := range jm.Summaries {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("core: model %s: %w", path, err)
+		}
+	}
+	m := &Model{
+		Cfg: Config{
+			Classifier:      Classifier{Threshold: jm.Config.Threshold, MaxTerms: jm.Config.MaxTerms},
+			ErrorEdges:      decodeEdges(jm.Config.ErrorEdges),
+			AbsoluteEdges:   decodeEdges(jm.Config.AbsoluteEdges),
+			UseBinMean:      jm.Config.UseBinMean,
+			MinObservations: jm.Config.MinObservations,
+		},
+		Rel:       factory(),
+		Summaries: &summary.Set{Summaries: jm.Summaries},
+	}
+	for _, jd := range jm.DBs {
+		dm := &DBModel{Name: jd.Name, EDs: make(map[TypeKey]*ED, len(jd.EDs))}
+		for _, je := range jd.EDs {
+			ed, err := decodeED(je, m.Cfg.UseBinMean)
+			if err != nil {
+				return nil, fmt.Errorf("core: model %s db %s: %w", path, jd.Name, err)
+			}
+			dm.EDs[TypeKey{Terms: je.Terms, Band: EstimateBand(je.Band)}] = ed
+		}
+		if jd.Pooled != nil {
+			dm.Pooled, err = decodeED(*jd.Pooled, m.Cfg.UseBinMean)
+			if err != nil {
+				return nil, fmt.Errorf("core: model %s db %s pooled: %w", path, jd.Name, err)
+			}
+		} else {
+			dm.Pooled, err = NewED(m.Cfg.ErrorEdges, false, m.Cfg.UseBinMean)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m.DBs = append(m.DBs, dm)
+	}
+	return m, nil
+}
+
+// ObserveProbe folds a live probe observation back into the model —
+// the online-refinement extension the paper's future-work section
+// points toward: every probe APro performs is also a free training
+// sample, so the error distributions keep improving (and track
+// database drift) during operation.
+func (m *Model) ObserveProbe(dbIdx int, query string, numTerms int, actual float64) error {
+	if dbIdx < 0 || dbIdx >= len(m.DBs) {
+		return fmt.Errorf("core: ObserveProbe: database index %d outside [0, %d)", dbIdx, len(m.DBs))
+	}
+	rhat := m.Rel.Estimate(m.Summaries.Summaries[dbIdx], query)
+	key := m.Cfg.Classifier.Classify(numTerms, rhat)
+	dm := m.DBs[dbIdx]
+	ed, ok := dm.EDs[key]
+	if !ok {
+		edges := m.Cfg.ErrorEdges
+		absolute := key.Band == BandZero
+		if absolute {
+			edges = m.Cfg.AbsoluteEdges
+		}
+		var err error
+		ed, err = NewED(edges, absolute, m.Cfg.UseBinMean)
+		if err != nil {
+			return err
+		}
+		dm.EDs[key] = ed
+	}
+	if err := ed.Observe(rhat, actual); err != nil {
+		return fmt.Errorf("core: ObserveProbe: %w", err)
+	}
+	if key.Band != BandZero {
+		if err := dm.Pooled.Observe(rhat, actual); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"metaprobe/internal/stats"
+)
+
+// ProbeFunc issues the live query to database i and returns the exact
+// relevancy (the caller binds the query and the testbed).
+type ProbeFunc func(i int) (float64, error)
+
+// Policy chooses which database to probe next (the SelectDb step of
+// the APro algorithm, Figure 11).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Next picks an unprobed database given the selection state and
+	// the user-required certainty t; it must only return indices for
+	// which s.Probed(i) is false.
+	Next(s *Selection, t float64) (int, error)
+}
+
+// ProbeStep records one probing action.
+type ProbeStep struct {
+	// DB is the probed database's index.
+	DB int
+	// Value is the observed relevancy (meaningless when Err != nil).
+	Value float64
+	// Err is the probe failure, if any.
+	Err error
+}
+
+// Outcome is the result of running APro on one query.
+type Outcome struct {
+	// Set is the selected k-set (database indices, ascending).
+	Set []int
+	// Certainty is E[Cor(Set)] at termination.
+	Certainty float64
+	// Steps are the probes performed, in order.
+	Steps []ProbeStep
+	// Reached reports whether Certainty met the user's threshold.
+	Reached bool
+}
+
+// Probes returns the number of successful probes performed.
+func (o Outcome) Probes() int {
+	n := 0
+	for _, s := range o.Steps {
+		if s.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// APro is the adaptive probing algorithm (Figure 11): starting from
+// the RD-based state, repeatedly check whether some k-set reaches the
+// user-required expected correctness t; if not, pick a database with
+// the policy, probe it live, collapse its RD to an impulse, and try
+// again. maxProbes < 0 means unbounded (bounded anyway by the number
+// of databases).
+//
+// Failed probes mark the database unprobeable and continue; if the
+// threshold remains unreachable after every database is probed or
+// unprobeable, the best available set is returned with Reached=false
+// and the accumulated probe errors.
+func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int) (Outcome, error) {
+	if t < 0 || t > 1 {
+		return Outcome{}, fmt.Errorf("core: certainty threshold %v outside [0,1]", t)
+	}
+	if probe == nil || policy == nil {
+		return Outcome{}, fmt.Errorf("core: APro needs a probe function and a policy")
+	}
+	var out Outcome
+	var probeErrs []error
+	for {
+		set, e := s.Best()
+		out.Set, out.Certainty = set, e
+		if e >= t {
+			out.Reached = true
+			return out, nil
+		}
+		if len(s.Unprobed()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
+			return out, errors.Join(probeErrs...)
+		}
+		i, err := policy.Next(s, t)
+		if err != nil {
+			return out, fmt.Errorf("core: probe policy %s: %w", policy.Name(), err)
+		}
+		if s.Probed(i) {
+			return out, fmt.Errorf("core: policy %s chose already-probed database %d", policy.Name(), i)
+		}
+		v, err := probe(i)
+		if err != nil {
+			s.MarkUnprobeable(i)
+			step := ProbeStep{DB: i, Err: err}
+			out.Steps = append(out.Steps, step)
+			probeErrs = append(probeErrs, err)
+			continue
+		}
+		s.ApplyProbe(i, v)
+		out.Steps = append(out.Steps, ProbeStep{DB: i, Value: v})
+	}
+}
+
+// Greedy is the paper's greedy probing policy (Section 5.4): probe the
+// database whose expected usefulness — the outcome-weighted best
+// achievable E[Cor] after the probe — is highest. With a cost function
+// set, usefulness gains are divided by per-database probe cost
+// (Section 5.2's extension to non-uniform costs).
+type Greedy struct {
+	// Cost returns the probe cost of database i; nil means uniform.
+	Cost func(i int) float64
+}
+
+// Name implements Policy.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Usefulness computes the expected usefulness of probing database i:
+// Σ_v P(rᵢ = v) · max_set E[Cor(set) | rᵢ = v] (Figure 13).
+func (g *Greedy) Usefulness(s *Selection, i int) float64 {
+	rd := s.RD(i)
+	u := 0.0
+	for vi := 0; vi < rd.Len(); vi++ {
+		v, p := rd.Value(vi), rd.Prob(vi)
+		s.withHypothesis(i, v, func() {
+			_, e := s.Best()
+			u += p * e
+		})
+	}
+	return u
+}
+
+// Next implements Policy.
+func (g *Greedy) Next(s *Selection, t float64) (int, error) {
+	unprobed := s.Unprobed()
+	if len(unprobed) == 0 {
+		return 0, fmt.Errorf("no unprobed database left")
+	}
+	_, current := s.Best()
+	cost := func(i int) float64 {
+		if g.Cost == nil {
+			return 1
+		}
+		if c := g.Cost(i); c > 0 {
+			return c
+		}
+		return 1
+	}
+	best := -1
+	bestScore, bestCost := 0.0, 0.0
+	for _, i := range unprobed {
+		if s.RD(i).IsImpulse() {
+			// Probing a known value cannot change anything; skip
+			// unless nothing else is available.
+			continue
+		}
+		score := g.Usefulness(s, i)
+		c := cost(i)
+		if g.Cost != nil {
+			// Normalize the *gain* by cost, not the absolute level:
+			// two candidates with equal usefulness but different cost
+			// should prefer the cheaper probe.
+			score = (score - current) / c
+		}
+		switch {
+		case best < 0,
+			score > bestScore+probEpsilon,
+			// On (near-)equal scores, prefer the cheaper probe.
+			equalFloat(score, bestScore) && c < bestCost-probEpsilon:
+			best, bestScore, bestCost = i, score, c
+		}
+	}
+	if best < 0 {
+		// All remaining RDs are impulses; probing is informationless
+		// but legal — pick the first to make progress.
+		best = unprobed[0]
+	}
+	return best, nil
+}
+
+// Random probes a uniformly random unprobed database — the naive
+// baseline for the policy ablation (A1).
+type Random struct {
+	// RNG is the randomness source (required).
+	RNG *stats.RNG
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Next implements Policy.
+func (r *Random) Next(s *Selection, t float64) (int, error) {
+	unprobed := s.Unprobed()
+	if len(unprobed) == 0 {
+		return 0, fmt.Errorf("no unprobed database left")
+	}
+	return unprobed[r.RNG.Intn(len(unprobed))], nil
+}
+
+// ByEstimate probes databases in decreasing order of their initial
+// estimate r̂ — the "trust the estimator" heuristic baseline.
+type ByEstimate struct{}
+
+// Name implements Policy.
+func (ByEstimate) Name() string { return "by-estimate" }
+
+// Next implements Policy.
+func (ByEstimate) Next(s *Selection, t float64) (int, error) {
+	best := -1
+	for _, i := range s.Unprobed() {
+		if best < 0 || s.Estimate(i) > s.Estimate(best) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no unprobed database left")
+	}
+	return best, nil
+}
+
+// MaxEntropy probes the database whose RD carries the most uncertainty
+// (highest Shannon entropy) — an information-theoretic baseline that
+// ignores how the uncertainty interacts with the selection boundary.
+type MaxEntropy struct{}
+
+// Name implements Policy.
+func (MaxEntropy) Name() string { return "max-entropy" }
+
+// Next implements Policy.
+func (MaxEntropy) Next(s *Selection, t float64) (int, error) {
+	best := -1
+	bestH := -1.0
+	for _, i := range s.Unprobed() {
+		if h := s.RD(i).Entropy(); h > bestH {
+			best, bestH = i, h
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no unprobed database left")
+	}
+	return best, nil
+}
+
+// Optimal implements the probing policy that minimizes the expected
+// number of probes to reach the threshold, by exhaustive expectimin
+// over probe orders and outcomes. The paper notes its cost is O(n!)
+// and impractical (Section 5.3); it is provided as the gold reference
+// for the policy ablation on tiny testbeds.
+type Optimal struct {
+	// MaxDBs bounds the testbed size the recursion will accept
+	// (default 7).
+	MaxDBs int
+}
+
+// Name implements Policy.
+func (o *Optimal) Name() string { return "optimal" }
+
+// Next implements Policy.
+func (o *Optimal) Next(s *Selection, t float64) (int, error) {
+	maxDBs := o.MaxDBs
+	if maxDBs == 0 {
+		maxDBs = 7
+	}
+	if s.Len() > maxDBs {
+		return 0, fmt.Errorf("optimal policy limited to %d databases, got %d", maxDBs, s.Len())
+	}
+	unprobed := s.Unprobed()
+	if len(unprobed) == 0 {
+		return 0, fmt.Errorf("no unprobed database left")
+	}
+	best := -1
+	bestCost := 0.0
+	for _, i := range unprobed {
+		cost := 1 + o.expectedRemaining(s, i, t)
+		if best < 0 || cost < bestCost-probEpsilon {
+			best, bestCost = i, cost
+		}
+	}
+	return best, nil
+}
+
+// expectedRemaining returns E[#further probes after probing i], the
+// expectimin recursion over i's outcomes.
+func (o *Optimal) expectedRemaining(s *Selection, i int, t float64) float64 {
+	rd := s.RD(i)
+	total := 0.0
+	for vi := 0; vi < rd.Len(); vi++ {
+		v, p := rd.Value(vi), rd.Prob(vi)
+		old := s.rds[i]
+		s.rds[i] = Impulse(v)
+		s.probed[i] = true
+
+		if _, e := s.Best(); e >= t {
+			// Reached: no further probes in this branch.
+		} else if rest := s.Unprobed(); len(rest) == 0 {
+			// Exhausted without reaching t: no further probes possible.
+		} else {
+			bestCost := -1.0
+			for _, j := range rest {
+				c := 1 + o.expectedRemaining(s, j, t)
+				if bestCost < 0 || c < bestCost {
+					bestCost = c
+				}
+			}
+			total += p * bestCost
+		}
+
+		s.rds[i] = old
+		s.probed[i] = false
+	}
+	return total
+}

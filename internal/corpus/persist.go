@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Corpus persistence: generated collections are written as JSON Lines
+// (one document per line), the usual interchange format for document
+// collections. Generating a testbed is cheap but not free; cmd tools
+// generate once and reload.
+
+// WriteJSONL streams documents to w, one JSON object per line.
+func WriteJSONL(w io.Writer, docs []Document) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range docs {
+		if err := enc.Encode(&docs[i]); err != nil {
+			return fmt.Errorf("corpus: encoding document %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads documents written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Document, error) {
+	var docs []Document
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var d Document
+		if err := dec.Decode(&d); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpus: decoding document %d: %w", len(docs), err)
+		}
+		if d.ID == "" {
+			return nil, fmt.Errorf("corpus: document %d has no ID", len(docs))
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// SaveFile writes a database's documents to path as JSONL.
+func SaveFile(path string, docs []Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	if err := WriteJSONL(f, docs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a database's documents from a JSONL file.
+func LoadFile(path string) ([]Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

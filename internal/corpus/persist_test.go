@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaprobe/internal/stats"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	w := HealthWorld()
+	spec := DatabaseSpec{
+		Name: "rt", NumDocs: 120, MeanDocLen: 15,
+		TopicWeights:    map[string]float64{"oncology": 1},
+		ConceptAffinity: 0.3,
+	}
+	docs, err := w.Generate(spec, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "docs.jsonl")
+	if err := SaveFile(path, docs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(docs) {
+		t.Fatalf("loaded %d of %d documents", len(loaded), len(docs))
+	}
+	for i := range docs {
+		if docs[i].ID != loaded[i].ID || docs[i].Text() != loaded[i].Text() {
+			t.Fatalf("document %d did not round-trip", i)
+		}
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSONL must fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"Terms":["a"]}` + "\n")); err == nil {
+		t.Error("document without ID must fail")
+	}
+	docs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(docs) != 0 {
+		t.Errorf("empty input: %v, %v", docs, err)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file must fail")
+	}
+}

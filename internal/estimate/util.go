@@ -1,0 +1,16 @@
+package estimate
+
+import "math"
+
+// logIDF is log(1 + x), the idf damping used by both the index and the
+// similarity estimator.
+func logIDF(x float64) float64 { return math.Log(1 + x) }
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

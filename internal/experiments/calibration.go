@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/eval"
+)
+
+// CalibrationStudy (E-CAL) validates the semantic heart of the paper:
+// the expected correctness returned with an answer is meant to be a
+// *probability the user can rely on* ("suppose we select the top-1
+// database for 100 queries each with 0.85 certainty ... for around 85
+// queries we have got the correct answer", Section 3.3). We bucket the
+// RD-based answers by their reported certainty and compare the bucket's
+// promise with its empirical accuracy.
+func CalibrationStudy(env *Env, k int, numBuckets int) (*Table, error) {
+	if numBuckets <= 0 {
+		numBuckets = 5
+	}
+	type bucket struct {
+		n        int
+		promised float64
+		correct  float64
+	}
+	buckets := make([]bucket, numBuckets)
+	var firstErr error
+	evalParallel(len(env.Golden), func(qi int, add func(update func())) {
+		g := env.Golden[qi]
+		sel := env.Selection(g.Query, core.Absolute, k)
+		set, certainty := sel.Best()
+		cor := eval.CorA(set, core.TopKByScore(g.Actual, k))
+		bi := int(certainty * float64(numBuckets))
+		if bi >= numBuckets {
+			bi = numBuckets - 1
+		}
+		add(func() {
+			buckets[bi].n++
+			buckets[bi].promised += certainty
+			buckets[bi].correct += cor
+		})
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	table := &Table{
+		ID:      "ECAL",
+		Title:   fmt.Sprintf("E-CAL: certainty calibration of RD-based selection (k=%d, no probing)", k),
+		Columns: []string{"certainty bucket", "queries", "mean promised", "empirical Cor_a", "gap"},
+		Notes: []string{
+			"well-calibrated certainty: empirical accuracy ≈ mean promised certainty per bucket",
+		},
+	}
+	var worstGap float64
+	for bi, b := range buckets {
+		lo := float64(bi) / float64(numBuckets)
+		hi := float64(bi+1) / float64(numBuckets)
+		label := fmt.Sprintf("[%.2f, %.2f)", lo, hi)
+		if b.n == 0 {
+			table.AddRow(label, "0", "n/a", "n/a", "n/a")
+			continue
+		}
+		promised := b.promised / float64(b.n)
+		empirical := b.correct / float64(b.n)
+		gap := empirical - promised
+		if math.Abs(gap) > math.Abs(worstGap) && b.n >= 20 {
+			worstGap = gap
+		}
+		table.AddRow(label, fmt.Sprintf("%d", b.n), f3(promised), f3(empirical), fmt.Sprintf("%+.3f", gap))
+	}
+	table.Notes = append(table.Notes, fmt.Sprintf("worst gap over buckets with ≥20 queries: %+.3f", worstGap))
+	return table, nil
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/fusion"
+)
+
+// FusionStudy (E-FUSE) evaluates task 2 of the paper's Figure 1 —
+// result fusion — which the paper describes but does not measure: after
+// database selection picks k sources, how much of the *globally* best
+// document set does the fused answer recover?
+//
+// Ground truth per query: the top-N documents by cosine score over the
+// union of all databases (what querying everything would return).
+// Metric: precision@N of each strategy's fused list against that
+// ground truth. Strategies: APro-selected databases with weighted
+// score fusion, the same with round-robin interleaving, and the single
+// best-estimated database (no fusion).
+func FusionStudy(env *Env, k, topN int) (*Table, error) {
+	if topN <= 0 {
+		topN = 10
+	}
+	table := &Table{
+		ID:      "EFUSE",
+		Title:   fmt.Sprintf("E-FUSE: result-fusion quality (precision@%d vs querying all databases, k=%d)", topN, k),
+		Columns: []string{"strategy", "precision@N", "avg probes"},
+		Notes: []string{
+			"ground truth: the globally top-N documents over all 20 databases",
+		},
+	}
+
+	type acc struct {
+		precision float64
+		probes    float64
+		n         int
+	}
+	accs := map[string]*acc{
+		"selected k + weighted merge": {},
+		"selected k + round-robin":    {},
+		"single best estimate":        {},
+	}
+	var firstErr error
+	evalParallel(len(env.Golden), func(qi int, add func(update func())) {
+		g := env.Golden[qi]
+		query := g.Query.String()
+
+		// Global ground truth: best topN docs across every database.
+		type scored struct {
+			id    string
+			score float64
+		}
+		var global []scored
+		for i := 0; i < env.Testbed.Len(); i++ {
+			res, err := env.Testbed.DB(i).Search(query, topN)
+			if err != nil {
+				add(func() { firstErr = err })
+				return
+			}
+			for _, d := range res.Docs {
+				global = append(global, scored{d.ID, d.Score})
+			}
+		}
+		if len(global) == 0 {
+			return // nothing retrievable anywhere; skip query
+		}
+		sort.Slice(global, func(a, b int) bool {
+			if global[a].score != global[b].score {
+				return global[a].score > global[b].score
+			}
+			return global[a].id < global[b].id
+		})
+		if len(global) > topN {
+			global = global[:topN]
+		}
+		truth := make(map[string]struct{}, len(global))
+		for _, s := range global {
+			truth[s.id] = struct{}{}
+		}
+		precision := func(items []fusion.Item) float64 {
+			hits := 0
+			for _, it := range items {
+				if _, ok := truth[it.Doc.ID]; ok {
+					hits++
+				}
+			}
+			return float64(hits) / float64(len(truth))
+		}
+
+		// Strategy inputs: APro-selected k databases at t=0.8.
+		sel := env.Selection(g.Query, core.Partial, k)
+		out, err := core.APro(sel, env.Probe(query), &core.Greedy{}, 0.8, -1)
+		if err != nil {
+			add(func() { firstErr = err })
+			return
+		}
+		var lists []fusion.SourceList
+		for _, dbIdx := range out.Set {
+			res, err := env.Testbed.DB(dbIdx).Search(query, topN)
+			if err != nil {
+				add(func() { firstErr = err })
+				return
+			}
+			lists = append(lists, fusion.SourceList{
+				Database: env.Testbed.DB(dbIdx).Name(),
+				Weight:   float64(res.MatchCount) + 1,
+				Docs:     res.Docs,
+			})
+		}
+		weighted, err := fusion.WeightedMerge(lists, topN)
+		if err != nil {
+			add(func() { firstErr = err })
+			return
+		}
+		rr, err := fusion.RoundRobin(lists, topN)
+		if err != nil {
+			add(func() { firstErr = err })
+			return
+		}
+
+		// Single best-estimated database, no fusion.
+		best := sel.BaselineSelect()[:1]
+		res, err := env.Testbed.DB(best[0]).Search(query, topN)
+		if err != nil {
+			add(func() { firstErr = err })
+			return
+		}
+		var single []fusion.Item
+		for _, d := range res.Docs {
+			single = append(single, fusion.Item{Database: env.Testbed.DB(best[0]).Name(), Doc: d})
+		}
+
+		pw, pr, ps := precision(weighted), precision(rr), precision(single)
+		probes := float64(out.Probes())
+		add(func() {
+			a := accs["selected k + weighted merge"]
+			a.precision += pw
+			a.probes += probes
+			a.n++
+			a = accs["selected k + round-robin"]
+			a.precision += pr
+			a.probes += probes
+			a.n++
+			a = accs["single best estimate"]
+			a.precision += ps
+			a.n++
+		})
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, name := range []string{"selected k + weighted merge", "selected k + round-robin", "single best estimate"} {
+		a := accs[name]
+		if a.n == 0 {
+			table.AddRow(name, "n/a", "n/a")
+			continue
+		}
+		table.AddRow(name, f3(a.precision/float64(a.n)), f2(a.probes/float64(a.n)))
+	}
+	return table, nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// evalParallel runs f(i, add) for i in [0, n) across GOMAXPROCS
+// workers. The add callback serializes result accumulation: updates
+// passed to it run under a shared mutex, so worker bodies can stay
+// lock-free and fold their results in one critical section.
+func evalParallel(n int, f func(i int, add func(update func()))) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var mu sync.Mutex
+	add := func(update func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		update()
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i, add)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i, add)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,140 @@
+// Package fusion implements result merging — task 2 of the
+// metasearching process (Figure 1 of the paper): after database
+// selection directs the query to the chosen databases, the per-database
+// result lists are merged into a single ranked answer for the user.
+//
+// Two standard strategies are provided:
+//
+//   - WeightedMerge — normalize each database's scores and scale them
+//     by the database's (estimated or probed) relevancy weight, then
+//     sort; the usual score-fusion approach when sources report
+//     comparable scores.
+//   - RoundRobin — interleave the lists in database-relevancy order;
+//     robust when source scores are incomparable.
+package fusion
+
+import (
+	"fmt"
+	"sort"
+
+	"metaprobe/internal/hidden"
+)
+
+// Item is one merged result.
+type Item struct {
+	// Database is the source database's name.
+	Database string
+	// Doc is the document as returned by the source.
+	Doc hidden.DocSummary
+	// Score is the fused score (WeightedMerge) or 0 (RoundRobin).
+	Score float64
+	// Snippet is a query-centered text preview, filled in by callers
+	// that can fetch document text (empty otherwise).
+	Snippet string
+}
+
+// SourceList is one database's contribution to the merge.
+type SourceList struct {
+	// Database is the source name.
+	Database string
+	// Weight is the database's relevancy weight (e.g. its estimated
+	// or probed relevancy); non-positive weights are treated as 0.
+	Weight float64
+	// Docs are the source's results, best first.
+	Docs []hidden.DocSummary
+}
+
+// WeightedMerge fuses the lists by weight-scaled normalized scores and
+// returns the top k items. Source scores are max-normalized per list
+// (so a source's own scale cancels out) and multiplied by the source's
+// normalized weight. Ties break by (database, doc ID) for determinism.
+func WeightedMerge(lists []SourceList, k int) ([]Item, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fusion: k must be positive, got %d", k)
+	}
+	maxWeight := 0.0
+	for _, l := range lists {
+		if l.Weight > maxWeight {
+			maxWeight = l.Weight
+		}
+	}
+	var items []Item
+	for _, l := range lists {
+		if len(l.Docs) == 0 {
+			continue
+		}
+		w := l.Weight
+		if w < 0 {
+			w = 0
+		}
+		if maxWeight > 0 {
+			w /= maxWeight
+		} else {
+			w = 1
+		}
+		maxScore := 0.0
+		for _, d := range l.Docs {
+			if d.Score > maxScore {
+				maxScore = d.Score
+			}
+		}
+		for _, d := range l.Docs {
+			s := d.Score
+			if maxScore > 0 {
+				s /= maxScore
+			}
+			items = append(items, Item{Database: l.Database, Doc: d, Score: s * w})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score > items[j].Score
+		}
+		if items[i].Database != items[j].Database {
+			return items[i].Database < items[j].Database
+		}
+		return items[i].Doc.ID < items[j].Doc.ID
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items, nil
+}
+
+// RoundRobin interleaves the lists in descending weight order (ties by
+// name) and returns the top k items; duplicates by (database, doc ID)
+// cannot occur, and scores are carried through unfused.
+func RoundRobin(lists []SourceList, k int) ([]Item, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fusion: k must be positive, got %d", k)
+	}
+	order := make([]int, len(lists))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := lists[order[a]], lists[order[b]]
+		if la.Weight != lb.Weight {
+			return la.Weight > lb.Weight
+		}
+		return la.Database < lb.Database
+	})
+	var items []Item
+	for depth := 0; len(items) < k; depth++ {
+		advanced := false
+		for _, li := range order {
+			l := lists[li]
+			if depth < len(l.Docs) {
+				items = append(items, Item{Database: l.Database, Doc: l.Docs[depth]})
+				advanced = true
+				if len(items) == k {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return items, nil
+}

@@ -1,0 +1,95 @@
+package fusion
+
+import (
+	"testing"
+
+	"metaprobe/internal/hidden"
+)
+
+func lists() []SourceList {
+	return []SourceList{
+		{
+			Database: "a", Weight: 100,
+			Docs: []hidden.DocSummary{{ID: "a1", Score: 0.9}, {ID: "a2", Score: 0.45}},
+		},
+		{
+			Database: "b", Weight: 50,
+			Docs: []hidden.DocSummary{{ID: "b1", Score: 0.2}, {ID: "b2", Score: 0.1}},
+		},
+		{Database: "c", Weight: 10, Docs: nil},
+	}
+}
+
+func TestWeightedMerge(t *testing.T) {
+	items, err := WeightedMerge(lists(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items", len(items))
+	}
+	// a1: 1.0·1.0 = 1.0; b1: 1.0·0.5 = 0.5; a2: 0.5·1.0 = 0.5;
+	// b2: 0.5·0.5 = 0.25. Tie between b1 and a2 breaks by database name.
+	wantIDs := []string{"a1", "a2", "b1", "b2"}
+	for i, want := range wantIDs {
+		if items[i].Doc.ID != want {
+			t.Errorf("item %d = %s, want %s (items: %+v)", i, items[i].Doc.ID, want, items)
+		}
+	}
+	if items[0].Score != 1 {
+		t.Errorf("top score = %v, want 1", items[0].Score)
+	}
+	// k truncation.
+	short, err := WeightedMerge(lists(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short) != 2 || short[0].Doc.ID != "a1" {
+		t.Errorf("truncated = %+v", short)
+	}
+}
+
+func TestWeightedMergeZeroWeights(t *testing.T) {
+	ls := []SourceList{
+		{Database: "a", Weight: 0, Docs: []hidden.DocSummary{{ID: "a1", Score: 0.5}}},
+		{Database: "b", Weight: -2, Docs: []hidden.DocSummary{{ID: "b1", Score: 0.9}}},
+	}
+	items, err := WeightedMerge(ls, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All weights ≤ 0: fall back to unweighted normalized scores.
+	if len(items) != 2 {
+		t.Fatalf("items = %+v", items)
+	}
+}
+
+func TestWeightedMergeErrors(t *testing.T) {
+	if _, err := WeightedMerge(nil, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	items, err := RoundRobin(lists(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"a1", "b1", "a2", "b2"}
+	for i, want := range wantIDs {
+		if items[i].Doc.ID != want {
+			t.Errorf("item %d = %s, want %s", i, items[i].Doc.ID, want)
+		}
+	}
+	// Exhaustion before k.
+	items, err = RoundRobin(lists(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Errorf("got %d items, want all 4", len(items))
+	}
+	if _, err := RoundRobin(nil, -1); err == nil {
+		t.Error("k<1 must fail")
+	}
+}

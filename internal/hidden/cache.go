@@ -1,0 +1,117 @@
+package hidden
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Cached memoizes search results with an LRU eviction policy. Within a
+// metasearch session the same query hits a database repeatedly —
+// training, golden-standard construction, probing and result fetching
+// all issue overlapping queries — and remote round trips dominate, so
+// a small per-database cache pays for itself immediately. Results are
+// cached per (query, topK-ceiling): a hit requesting more documents
+// than a cached entry holds falls through to the backend.
+type Cached struct {
+	db       Database
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+
+	hits, misses int64
+}
+
+// cacheEntry is one memoized answer.
+type cacheEntry struct {
+	query string
+	topK  int
+	res   Result
+}
+
+// NewCached wraps db with an LRU result cache of the given capacity
+// (entries, not bytes); capacity ≤ 0 defaults to 1024.
+func NewCached(db Database, capacity int) *Cached {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cached{
+		db:       db,
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Name implements Database.
+func (c *Cached) Name() string { return c.db.Name() }
+
+// Search implements Database with memoization. Errors are never
+// cached.
+func (c *Cached) Search(query string, topK int) (Result, error) {
+	key := fmt.Sprintf("%d\x00%s", topK, query)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	res, err := c.db.Search(query, topK)
+	if err != nil {
+		return Result{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent caller cached it first; keep theirs.
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, nil
+	}
+	el := c.order.PushFront(&cacheEntry{query: query, topK: topK, res: res})
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.entries, fmt.Sprintf("%d\x00%s", e.topK, e.query))
+	}
+	return res, nil
+}
+
+// Fetch passes through uncached (documents are fetched once during
+// sampling; caching them would only duplicate memory).
+func (c *Cached) Fetch(id string) (string, error) {
+	if f, ok := c.db.(Fetcher); ok {
+		return f.Fetch(id)
+	}
+	return "", fmt.Errorf("hidden: %s does not support document fetching", c.db.Name())
+}
+
+// Size passes through when available.
+func (c *Cached) Size() int {
+	if s, ok := c.db.(Sizer); ok {
+		return s.Size()
+	}
+	return 0
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Cached) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cached) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

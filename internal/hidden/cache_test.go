@@ -1,0 +1,128 @@
+package hidden
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCachedMemoizes(t *testing.T) {
+	inner := NewCounting(buildSmallLocal(t))
+	c := NewCached(inner, 10)
+	for i := 0; i < 5; i++ {
+		res, err := c.Search("breast cancer", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MatchCount != 2 {
+			t.Fatalf("MatchCount = %d", res.MatchCount)
+		}
+	}
+	if inner.Searches() != 1 {
+		t.Errorf("backend saw %d searches, want 1", inner.Searches())
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 4/1", hits, misses)
+	}
+	// Different topK is a different cache key.
+	if _, err := c.Search("breast cancer", 5); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != 2 {
+		t.Errorf("backend saw %d searches after topK change, want 2", inner.Searches())
+	}
+}
+
+func TestCachedLRUEviction(t *testing.T) {
+	inner := NewCounting(buildSmallLocal(t))
+	c := NewCached(inner, 2)
+	queries := []string{"cancer", "breast", "treatment"}
+	for _, q := range queries {
+		if _, err := c.Search(q, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", c.Len())
+	}
+	// "cancer" (oldest) was evicted → re-querying hits the backend.
+	before := inner.Searches()
+	if _, err := c.Search("cancer", 0); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != before+1 {
+		t.Error("evicted entry served from cache")
+	}
+	// "treatment" is still cached.
+	before = inner.Searches()
+	if _, err := c.Search("treatment", 0); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != before {
+		t.Error("recent entry not served from cache")
+	}
+}
+
+func TestCachedDoesNotCacheErrors(t *testing.T) {
+	flaky := &flaky{name: "f", failUntil: 2}
+	c := NewCached(flaky, 10)
+	if _, err := c.Search("q", 0); err == nil {
+		t.Fatal("first call should fail")
+	}
+	res, err := c.Search("q", 0)
+	if err != nil {
+		t.Fatalf("second call should succeed: %v", err)
+	}
+	if res.MatchCount != 7 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	inner := NewCounting(buildSmallLocal(t))
+	c := NewCached(inner, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := fmt.Sprintf("cancer term%d", i%5)
+				if _, err := c.Search(q, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// 5 distinct queries; the backend may see a few extra due to the
+	// fill race, but nowhere near 400.
+	if inner.Searches() > 40 {
+		t.Errorf("backend saw %d searches for 5 distinct queries", inner.Searches())
+	}
+}
+
+func TestCachedPassthroughs(t *testing.T) {
+	local := buildSmallLocal(t)
+	c := NewCached(local, 0) // default capacity
+	if c.Size() != 4 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if _, err := c.Fetch("d0"); err != nil {
+		t.Errorf("Fetch: %v", err)
+	}
+	nc := NewCached(NewTable("t", nil), 1)
+	if _, err := nc.Fetch("x"); err == nil {
+		t.Error("fetch on non-fetcher must fail")
+	}
+	if nc.Size() != 0 {
+		t.Error("non-sizer Size should be 0")
+	}
+	bad := NewCached(NewStaticError("b", errors.New("x")), 1)
+	if _, err := bad.Search("q", 0); err == nil {
+		t.Error("backend error must propagate")
+	}
+}

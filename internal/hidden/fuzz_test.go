@@ -1,0 +1,32 @@
+package hidden
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseHTMLAnswerPage hardens the scraper against arbitrary pages:
+// it must either parse or return an error — never panic, never return
+// a negative count.
+func FuzzParseHTMLAnswerPage(f *testing.F) {
+	f.Add("<html><body><p>Results 1 - 2 of about <b>1,234</b> documents.</p></body></html>")
+	f.Add("No documents matched your query.")
+	f.Add("of about <b>12")
+	f.Add(`of about <b>7</b><li><a href="/doc/x">x</a> <span class="score">0.5</span></li>`)
+	f.Add(`of about <b>7</b><li><a href="/doc/x">x</a> <span class="score">oops</span></li>`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, page string) {
+		res, err := parseHTMLAnswerPage(page)
+		if err != nil {
+			return
+		}
+		if res.MatchCount < 0 {
+			t.Fatalf("negative match count %d from %q", res.MatchCount, page)
+		}
+		for _, d := range res.Docs {
+			if strings.Contains(d.ID, "<") {
+				t.Fatalf("unescaped markup in doc ID %q", d.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,378 @@
+package hidden
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/textindex"
+)
+
+func buildSmallLocal(t *testing.T) *Local {
+	t.Helper()
+	ix := textindex.NewIndex(textindex.NewTokenizer(textindex.TokenizerConfig{}))
+	docs := []string{
+		"breast cancer research update",
+		"breast cancer treatment",
+		"lung cancer study",
+		"nutrition and diet",
+	}
+	l := NewLocal("testdb", ix)
+	for i, d := range docs {
+		id := fmt.Sprintf("d%d", i)
+		ix.Add(id, d)
+		l.StoreText(id, d)
+	}
+	return l
+}
+
+func TestLocalSearch(t *testing.T) {
+	db := buildSmallLocal(t)
+	res, err := db.Search("breast cancer", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 2 {
+		t.Errorf("MatchCount = %d, want 2 (AND semantics)", res.MatchCount)
+	}
+	// Ranked retrieval is OR-based: d2 ("lung cancer study") also scores.
+	if len(res.Docs) != 3 {
+		t.Errorf("got %d ranked docs, want 3", len(res.Docs))
+	}
+	// topK = 0: count only.
+	res0, err := db.Search("breast cancer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.MatchCount != 2 || len(res0.Docs) != 0 {
+		t.Errorf("count-only probe returned %+v", res0)
+	}
+	if db.Size() != 4 {
+		t.Errorf("Size = %d, want 4", db.Size())
+	}
+	if db.Name() != "testdb" {
+		t.Errorf("Name = %q", db.Name())
+	}
+}
+
+func TestBuildLocalFromCorpus(t *testing.T) {
+	w := corpus.HealthWorld()
+	spec := corpus.DatabaseSpec{
+		Name: "onco", NumDocs: 300, MeanDocLen: 20,
+		TopicWeights:    map[string]float64{"oncology": 1},
+		ConceptAffinity: 0.5,
+	}
+	docs, err := w.Generate(spec, newSpecRNG(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := BuildLocal("onco", docs)
+	if db.Size() != 300 {
+		t.Fatalf("Size = %d, want 300", db.Size())
+	}
+	res, err := db.Search("cancer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount == 0 {
+		t.Error("an oncology database should match 'cancer'")
+	}
+	if err := db.Index().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestbed(t *testing.T) {
+	a := NewStatic("a", Result{})
+	b := NewStatic("b", Result{})
+	tb, err := NewTestbed([]Database{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 || tb.DB(1).Name() != "b" || tb.IndexOf("b") != 1 || tb.IndexOf("zzz") != -1 {
+		t.Error("testbed accessors broken")
+	}
+	if _, err := NewTestbed([]Database{a, NewStatic("a", Result{})}); err == nil {
+		t.Error("duplicate names should fail")
+	}
+}
+
+func TestBuildTestbedDeterministicAcrossRuns(t *testing.T) {
+	w := corpus.HealthWorld()
+	specs := corpus.HealthTestbed(0.002)[:4]
+	tb1, err := BuildTestbed(w, specs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := BuildTestbed(w, specs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb1.Len(); i++ {
+		q := "cancer treatment"
+		r1, _ := tb1.DB(i).Search(q, 0)
+		r2, _ := tb2.DB(i).Search(q, 0)
+		if r1.MatchCount != r2.MatchCount {
+			t.Errorf("db %d: counts differ %d vs %d", i, r1.MatchCount, r2.MatchCount)
+		}
+	}
+}
+
+func TestCounting(t *testing.T) {
+	db := NewCounting(buildSmallLocal(t))
+	for i := 0; i < 3; i++ {
+		if _, err := db.Search("cancer", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Searches() != 3 {
+		t.Errorf("Searches = %d, want 3", db.Searches())
+	}
+	db.CostPerProbe = 2.5
+	if db.Cost() != 7.5 {
+		t.Errorf("Cost = %v, want 7.5", db.Cost())
+	}
+	db.Reset()
+	if db.Searches() != 0 {
+		t.Error("Reset did not zero the counter")
+	}
+	if db.Size() != 4 {
+		t.Errorf("Size passthrough = %d, want 4", db.Size())
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	db := NewFailEvery(buildSmallLocal(t), 3)
+	var failures int
+	for i := 0; i < 9; i++ {
+		if _, err := db.Search("cancer", 0); err != nil {
+			if !errors.Is(err, ErrUnavailable) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Errorf("failures = %d, want 3", failures)
+	}
+	never := NewFailEvery(buildSmallLocal(t), 0)
+	if _, err := never.Search("cancer", 0); err != nil {
+		t.Errorf("n=0 should never fail: %v", err)
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	// With Sizer: direct.
+	db := buildSmallLocal(t)
+	if got, err := EstimateSize(db, nil); err != nil || got != 4 {
+		t.Errorf("EstimateSize = %d, %v; want 4, nil", got, err)
+	}
+	// Without Sizer: probe with common terms.
+	table := NewTable("t", map[string]int{"health": 120, "medical": 80})
+	if got, err := EstimateSize(table, []string{"health", "medical"}); err != nil || got != 120 {
+		t.Errorf("EstimateSize = %d, %v; want 120, nil", got, err)
+	}
+	if _, err := EstimateSize(table, nil); err == nil {
+		t.Error("no probe terms should fail")
+	}
+	bad := NewStaticError("bad", errors.New("boom"))
+	if _, err := EstimateSize(bad, []string{"health"}); err == nil {
+		t.Error("all-failing database should fail")
+	}
+}
+
+func TestHTTPJSONRoundTrip(t *testing.T) {
+	local := buildSmallLocal(t)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+
+	client := NewClient("remote-testdb", srv.URL)
+	res, err := client.Search("breast cancer", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 2 || len(res.Docs) != 3 {
+		t.Errorf("remote result %+v, want 2 matches / 3 ranked docs", res)
+	}
+	if client.Name() != "remote-testdb" {
+		t.Errorf("Name = %q", client.Name())
+	}
+}
+
+func TestHTTPHTMLScraping(t *testing.T) {
+	local := buildSmallLocal(t)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+
+	client := NewClient("remote", srv.URL)
+	client.UseHTML = true
+	res, err := client.Search("breast cancer", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 2 {
+		t.Errorf("scraped MatchCount = %d, want 2", res.MatchCount)
+	}
+	if len(res.Docs) != 2 || res.Docs[0].ID == "" {
+		t.Errorf("scraped docs %+v", res.Docs)
+	}
+	// Zero-match page.
+	res, err = client.Search("zzzz qqqq", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 0 || len(res.Docs) != 0 {
+		t.Errorf("zero-match scrape = %+v", res)
+	}
+}
+
+func TestHTMLAnswerPageThousands(t *testing.T) {
+	big := NewStatic("big", Result{MatchCount: 1234567})
+	srv := httptest.NewServer(NewServer(big))
+	defer srv.Close()
+	client := NewClient("big", srv.URL)
+	client.UseHTML = true
+	res, err := client.Search("anything", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 1234567 {
+		t.Errorf("MatchCount = %d, want 1234567 (comma parsing)", res.MatchCount)
+	}
+}
+
+func TestGroupThousands(t *testing.T) {
+	cases := map[int]string{0: "0", 5: "5", 999: "999", 1000: "1,000", 1234567: "1,234,567", 12345: "12,345"}
+	for n, want := range cases {
+		if got := groupThousands(n); got != want {
+			t.Errorf("groupThousands(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	local := buildSmallLocal(t)
+	srv := httptest.NewServer(NewServer(local))
+	defer srv.Close()
+
+	for _, u := range []string{
+		srv.URL + "/search",                          // missing q
+		srv.URL + "/search?q=cancer&k=-1",            // bad k
+		srv.URL + "/search?q=cancer&k=x",             // non-numeric k
+		srv.URL + "/search?q=cancer&format=protobuf", // unknown format
+	} {
+		resp, err := srv.Client().Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("GET %s: status %d, want 400", u, resp.StatusCode)
+		}
+	}
+	// Backend failure surfaces as 502 and the client wraps it as
+	// unavailable.
+	bad := httptest.NewServer(NewServer(NewStaticError("bad", errors.New("boom"))))
+	defer bad.Close()
+	client := NewClient("bad", bad.URL)
+	if _, err := client.Search("x", 0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	client := NewClient("gone", "http://127.0.0.1:1")
+	if _, err := client.Search("x", 0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("want ErrUnavailable, got %v", err)
+	}
+}
+
+func TestParseHTMLAnswerPageMalformed(t *testing.T) {
+	cases := []string{
+		"<html><body>hello</body></html>",
+		"<html>of about <b>12",
+		"<html>of about <b>oops</b></html>",
+	}
+	for _, page := range cases {
+		if _, err := parseHTMLAnswerPage(page); err == nil {
+			t.Errorf("page %q should fail to parse", page)
+		}
+	}
+}
+
+func TestServeTestbed(t *testing.T) {
+	a := NewStatic("alpha", Result{MatchCount: 7})
+	b := NewStatic("beta", Result{MatchCount: 9})
+	tb, err := NewTestbed([]Database{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ServeTestbed(tb))
+	defer srv.Close()
+
+	ca := NewClient("alpha", srv.URL+"/db/alpha")
+	res, err := ca.Search("anything", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 7 {
+		t.Errorf("alpha count = %d, want 7", res.MatchCount)
+	}
+	cb := NewClient("beta", srv.URL+"/db/beta")
+	res, err = cb.Search("anything", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 9 {
+		t.Errorf("beta count = %d, want 9", res.MatchCount)
+	}
+	// Index page lists both databases.
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alpha") || !strings.Contains(buf.String(), "beta") {
+		t.Error("index page missing databases")
+	}
+}
+
+func TestHTMLAnswerPageSnippets(t *testing.T) {
+	db := buildSmallLocal(t)
+	srv := httptest.NewServer(NewServer(db))
+	defer srv.Close()
+	client := NewClient("remote", srv.URL)
+	client.UseHTML = true
+	res, err := client.Search("breast cancer", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) == 0 {
+		t.Fatal("no docs")
+	}
+	for _, d := range res.Docs[:2] {
+		if d.Snippet == "" {
+			t.Errorf("doc %s missing scraped snippet", d.ID)
+		}
+		if strings.Contains(d.Snippet, "<") {
+			t.Errorf("snippet %q contains markup", d.Snippet)
+		}
+	}
+	// JSON path carries snippets too.
+	client.UseHTML = false
+	res, err = client.Search("breast cancer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Docs[0].Snippet == "" {
+		t.Error("JSON answer missing snippet")
+	}
+}

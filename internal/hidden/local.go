@@ -1,0 +1,157 @@
+package hidden
+
+import (
+	"fmt"
+	"sync"
+
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/stats"
+	"metaprobe/internal/textindex"
+)
+
+// newSpecRNG derives a deterministic per-database stream from (seed,
+// label). Each call builds its own parent so concurrent builders do not
+// share RNG state.
+func newSpecRNG(seed, label int64) *stats.RNG {
+	return stats.NewRNG(seed).Fork(label)
+}
+
+// Local is an in-process Hidden-Web database backed by an inverted
+// index. It is the workhorse of the experiment suite: semantics are
+// identical to the HTTP path but with zero latency.
+type Local struct {
+	name  string
+	index *textindex.Index
+	texts map[string]string
+}
+
+// NewLocal wraps an already-built index as a database. Fetch is only
+// available for documents registered with StoreText (BuildLocal does
+// this automatically).
+func NewLocal(name string, index *textindex.Index) *Local {
+	return &Local{name: name, index: index, texts: make(map[string]string)}
+}
+
+// StoreText registers the retrievable text of a document so Fetch can
+// serve it.
+func (l *Local) StoreText(id, text string) { l.texts[id] = text }
+
+// Fetch implements Fetcher.
+func (l *Local) Fetch(id string) (string, error) {
+	text, ok := l.texts[id]
+	if !ok {
+		return "", fmt.Errorf("hidden: %s: no document %q", l.name, id)
+	}
+	return text, nil
+}
+
+// BuildLocal indexes the given documents into a fresh database using
+// the default tokenizer. The corpus generator emits pre-tokenized
+// terms, which are indexed via the fast path.
+func BuildLocal(name string, docs []corpus.Document) *Local {
+	ix := textindex.NewIndex(nil)
+	tok := textindex.DefaultTokenizer()
+	l := NewLocal(name, ix)
+	for _, d := range docs {
+		// Normalize generator terms exactly like free text so the
+		// index, summaries and queries all live in the same term space.
+		norm := make([]string, 0, len(d.Terms))
+		for _, t := range d.Terms {
+			norm = append(norm, tok.Tokenize(t)...)
+		}
+		ix.AddTerms(d.ID, norm)
+		l.StoreText(d.ID, d.Text())
+	}
+	return l
+}
+
+// Name implements Database.
+func (l *Local) Name() string { return l.name }
+
+// Size implements Sizer.
+func (l *Local) Size() int { return l.index.Size() }
+
+// Index exposes the underlying index (summaries are built from it).
+func (l *Local) Index() *textindex.Index { return l.index }
+
+// Search implements Database: boolean-AND match count plus the topK
+// cosine-ranked documents.
+func (l *Local) Search(query string, topK int) (Result, error) {
+	res := Result{MatchCount: l.index.MatchCount(query)}
+	if topK > 0 {
+		for _, h := range l.index.Search(query, topK) {
+			res.Docs = append(res.Docs, DocSummary{ID: h.DocID, Score: h.Score})
+		}
+	}
+	return res, nil
+}
+
+// Testbed is a named, ordered collection of databases — what the
+// metasearcher mediates. Order is significant: database index is the
+// deterministic tie-breaker throughout the selection math.
+type Testbed struct {
+	dbs []Database
+}
+
+// NewTestbed validates that database names are unique and returns the
+// collection.
+func NewTestbed(dbs []Database) (*Testbed, error) {
+	seen := make(map[string]struct{}, len(dbs))
+	for _, db := range dbs {
+		if _, dup := seen[db.Name()]; dup {
+			return nil, fmt.Errorf("hidden: duplicate database name %q", db.Name())
+		}
+		seen[db.Name()] = struct{}{}
+	}
+	return &Testbed{dbs: dbs}, nil
+}
+
+// Len returns the number of databases.
+func (t *Testbed) Len() int { return len(t.dbs) }
+
+// DB returns the i-th database.
+func (t *Testbed) DB(i int) Database { return t.dbs[i] }
+
+// Databases returns the databases in order (the slice is shared; do
+// not mutate).
+func (t *Testbed) Databases() []Database { return t.dbs }
+
+// IndexOf returns the position of the named database, or -1.
+func (t *Testbed) IndexOf(name string) int {
+	for i, db := range t.dbs {
+		if db.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BuildTestbed generates and indexes every database of a testbed spec
+// in parallel (generation is the dominant setup cost of the experiment
+// suite). Each database derives its own RNG stream from the seed, so
+// the result is deterministic regardless of scheduling.
+func BuildTestbed(world *corpus.World, specs []corpus.DatabaseSpec, seed int64) (*Testbed, error) {
+	dbs := make([]Database, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec corpus.DatabaseSpec) {
+			defer wg.Done()
+			rng := newSpecRNG(seed, int64(i))
+			docs, err := world.Generate(spec, rng)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dbs[i] = BuildLocal(spec.Name, docs)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewTestbed(dbs)
+}

@@ -1,0 +1,191 @@
+package hidden
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file provides the operational middleware a production
+// metasearcher needs around remote Hidden-Web sources: politeness
+// (rate limiting), resilience (retry with backoff), and test
+// instrumentation (latency injection).
+//
+// All wrappers implement Database and forward Fetcher/Sizer when the
+// wrapped database supports them, so they compose freely:
+//
+//	db := hidden.NewRetry(hidden.NewRateLimited(client, time.Second), 3, time.Second)
+
+// RateLimited enforces a minimum interval between searches against one
+// database — the politeness constraint real Hidden-Web sites demand
+// (the paper's probing cost concerns are precisely about not hammering
+// sources).
+type RateLimited struct {
+	db       Database
+	interval time.Duration
+
+	mu   sync.Mutex
+	next time.Time
+	// sleep is replaceable in tests.
+	sleep func(time.Duration)
+	// now is replaceable in tests.
+	now func() time.Time
+}
+
+// NewRateLimited wraps db with a minimum interval between searches.
+func NewRateLimited(db Database, interval time.Duration) *RateLimited {
+	return &RateLimited{
+		db:       db,
+		interval: interval,
+		sleep:    time.Sleep,
+		now:      time.Now,
+	}
+}
+
+// Name implements Database.
+func (r *RateLimited) Name() string { return r.db.Name() }
+
+// Search implements Database, delaying as needed to honor the interval.
+func (r *RateLimited) Search(query string, topK int) (Result, error) {
+	r.mu.Lock()
+	now := r.now()
+	wait := r.next.Sub(now)
+	if wait < 0 {
+		wait = 0
+	}
+	start := now.Add(wait)
+	r.next = start.Add(r.interval)
+	r.mu.Unlock()
+	if wait > 0 {
+		r.sleep(wait)
+	}
+	return r.db.Search(query, topK)
+}
+
+// Fetch passes through (document fetches piggyback on result pages and
+// are not separately throttled).
+func (r *RateLimited) Fetch(id string) (string, error) {
+	if f, ok := r.db.(Fetcher); ok {
+		return f.Fetch(id)
+	}
+	return "", fmt.Errorf("hidden: %s does not support document fetching", r.db.Name())
+}
+
+// Size passes through when available.
+func (r *RateLimited) Size() int {
+	if s, ok := r.db.(Sizer); ok {
+		return s.Size()
+	}
+	return 0
+}
+
+// Retry wraps a database with bounded retries and exponential backoff
+// on ErrUnavailable (transient failures); other errors — malformed
+// pages, protocol violations — fail immediately.
+type Retry struct {
+	db       Database
+	attempts int
+	backoff  time.Duration
+
+	// sleep is replaceable in tests.
+	sleep func(time.Duration)
+}
+
+// NewRetry wraps db; attempts is the total number of tries (≥ 1) and
+// backoff the initial delay, doubling per retry.
+func NewRetry(db Database, attempts int, backoff time.Duration) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retry{db: db, attempts: attempts, backoff: backoff, sleep: time.Sleep}
+}
+
+// Name implements Database.
+func (r *Retry) Name() string { return r.db.Name() }
+
+// Search implements Database with retries on transient failures.
+func (r *Retry) Search(query string, topK int) (Result, error) {
+	delay := r.backoff
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(delay)
+			delay *= 2
+		}
+		res, err := r.db.Search(query, topK)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("hidden: %s failed after %d attempts: %w", r.db.Name(), r.attempts, lastErr)
+}
+
+// Fetch passes through with the same retry discipline.
+func (r *Retry) Fetch(id string) (string, error) {
+	f, ok := r.db.(Fetcher)
+	if !ok {
+		return "", fmt.Errorf("hidden: %s does not support document fetching", r.db.Name())
+	}
+	delay := r.backoff
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(delay)
+			delay *= 2
+		}
+		text, err := f.Fetch(id)
+		if err == nil {
+			return text, nil
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("hidden: %s fetch failed after %d attempts: %w", r.db.Name(), r.attempts, lastErr)
+}
+
+// Size passes through when available.
+func (r *Retry) Size() int {
+	if s, ok := r.db.(Sizer); ok {
+		return s.Size()
+	}
+	return 0
+}
+
+// Latency injects a fixed delay before every search — used by
+// benchmarks and examples to simulate remote round-trip times without
+// a network.
+type Latency struct {
+	db    Database
+	delay time.Duration
+	// sleep is replaceable in tests.
+	sleep func(time.Duration)
+}
+
+// NewLatency wraps db with a per-search delay.
+func NewLatency(db Database, delay time.Duration) *Latency {
+	return &Latency{db: db, delay: delay, sleep: time.Sleep}
+}
+
+// Name implements Database.
+func (l *Latency) Name() string { return l.db.Name() }
+
+// Search implements Database with the injected delay.
+func (l *Latency) Search(query string, topK int) (Result, error) {
+	l.sleep(l.delay)
+	return l.db.Search(query, topK)
+}
+
+// Size passes through when available.
+func (l *Latency) Size() int {
+	if s, ok := l.db.(Sizer); ok {
+		return s.Size()
+	}
+	return 0
+}

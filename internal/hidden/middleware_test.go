@@ -1,0 +1,196 @@
+package hidden
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRateLimitedSpacesSearches(t *testing.T) {
+	inner := NewStatic("s", Result{MatchCount: 1})
+	rl := NewRateLimited(inner, 100*time.Millisecond)
+
+	// Fake clock: record requested sleeps instead of sleeping.
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	var slept []time.Duration
+	rl.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	rl.sleep = func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		slept = append(slept, d)
+		now = now.Add(d)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := rl.Search("q", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First call immediate; the next two wait 100ms each.
+	if len(slept) != 2 {
+		t.Fatalf("slept %v, want two delays", slept)
+	}
+	for _, d := range slept {
+		if d != 100*time.Millisecond {
+			t.Errorf("delay %v, want 100ms", d)
+		}
+	}
+	if got := len(inner.Queries()); got != 3 {
+		t.Errorf("inner saw %d searches", got)
+	}
+	if rl.Name() != "s" {
+		t.Errorf("Name = %q", rl.Name())
+	}
+}
+
+func TestRateLimitedPassthroughs(t *testing.T) {
+	local := buildSmallLocal(t)
+	rl := NewRateLimited(local, 0)
+	if rl.Size() != 4 {
+		t.Errorf("Size = %d", rl.Size())
+	}
+	if _, err := rl.Fetch("d0"); err != nil {
+		t.Errorf("Fetch: %v", err)
+	}
+	table := NewRateLimited(NewTable("t", nil), 0)
+	if _, err := table.Fetch("x"); err == nil {
+		t.Error("fetch on non-fetcher must fail")
+	}
+	if table.Size() != 0 {
+		t.Error("Size on non-sizer should be 0")
+	}
+}
+
+// flaky fails with ErrUnavailable until the n-th call.
+type flaky struct {
+	name      string
+	failUntil int
+	calls     int
+}
+
+func (f *flaky) Name() string { return f.name }
+func (f *flaky) Search(query string, topK int) (Result, error) {
+	f.calls++
+	if f.calls < f.failUntil {
+		return Result{}, fmt.Errorf("%w: transient", ErrUnavailable)
+	}
+	return Result{MatchCount: 7}, nil
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	f := &flaky{name: "f", failUntil: 3}
+	r := NewRetry(f, 4, time.Millisecond)
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	res, err := r.Search("q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 7 {
+		t.Errorf("result = %+v", res)
+	}
+	if f.calls != 3 {
+		t.Errorf("calls = %d, want 3", f.calls)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff = %v", slept)
+	}
+}
+
+func TestRetryGivesUpAndWrapsError(t *testing.T) {
+	f := &flaky{name: "f", failUntil: 100}
+	r := NewRetry(f, 3, 0)
+	r.sleep = func(time.Duration) {}
+	_, err := r.Search("q", 0)
+	if err == nil {
+		t.Fatal("want failure after exhausting retries")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("error should keep ErrUnavailable: %v", err)
+	}
+	if f.calls != 3 {
+		t.Errorf("calls = %d, want 3", f.calls)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	bad := NewStaticError("bad", errors.New("malformed answer page"))
+	r := NewRetry(bad, 5, 0)
+	r.sleep = func(time.Duration) { t.Fatal("must not back off on permanent errors") }
+	if _, err := r.Search("q", 0); err == nil {
+		t.Fatal("want error")
+	}
+	if got := len(bad.Queries()); got != 1 {
+		t.Errorf("permanent error retried %d times", got)
+	}
+}
+
+func TestRetryFetch(t *testing.T) {
+	local := buildSmallLocal(t)
+	r := NewRetry(local, 2, 0)
+	r.sleep = func(time.Duration) {}
+	if _, err := r.Fetch("d0"); err != nil {
+		t.Errorf("Fetch: %v", err)
+	}
+	if _, err := r.Fetch("missing"); err == nil {
+		t.Error("missing doc must fail")
+	}
+	if r.Size() != 4 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	table := NewRetry(NewTable("t", nil), 2, 0)
+	if _, err := table.Fetch("x"); err == nil {
+		t.Error("fetch on non-fetcher must fail")
+	}
+	// attempts < 1 clamps to 1.
+	one := NewRetry(&flaky{name: "f", failUntil: 2}, 0, 0)
+	one.sleep = func(time.Duration) {}
+	if _, err := one.Search("q", 0); err == nil {
+		t.Error("single attempt against first-call failure must fail")
+	}
+}
+
+func TestLatencyInjectsDelay(t *testing.T) {
+	inner := NewStatic("s", Result{MatchCount: 2})
+	l := NewLatency(inner, 42*time.Millisecond)
+	var got time.Duration
+	l.sleep = func(d time.Duration) { got = d }
+	res, err := l.Search("q", 0)
+	if err != nil || res.MatchCount != 2 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if got != 42*time.Millisecond {
+		t.Errorf("delay = %v", got)
+	}
+	if l.Name() != "s" || l.Size() != 0 {
+		t.Error("passthroughs wrong")
+	}
+}
+
+// TestMiddlewareComposition stacks all wrappers and verifies the whole
+// chain still behaves like a Database with probe accounting.
+func TestMiddlewareComposition(t *testing.T) {
+	local := buildSmallLocal(t)
+	counting := NewCounting(local)
+	rl := NewRateLimited(counting, 0)
+	r := NewRetry(rl, 2, 0)
+	r.sleep = func(time.Duration) {}
+	lat := NewLatency(r, 0)
+	lat.sleep = func(time.Duration) {}
+
+	res, err := lat.Search("breast cancer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchCount != 2 {
+		t.Errorf("MatchCount = %d", res.MatchCount)
+	}
+	if counting.Searches() != 1 {
+		t.Errorf("counted %d searches", counting.Searches())
+	}
+}

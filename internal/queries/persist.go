@@ -1,0 +1,75 @@
+package queries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Query-log persistence: the standard one-query-per-line text format
+// every real trace (including the Overture trace the paper used) comes
+// in. Lines are whitespace-separated terms; blank lines and lines
+// starting with '#' are skipped.
+
+// WriteLog streams queries to w, one per line.
+func WriteLog(w io.Writer, qs []Query) error {
+	bw := bufio.NewWriter(w)
+	for i, q := range qs {
+		if q.NumTerms() == 0 {
+			return fmt.Errorf("queries: query %d is empty", i)
+		}
+		if _, err := bw.WriteString(q.String()); err != nil {
+			return fmt.Errorf("queries: writing log: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("queries: writing log: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a query log written by WriteLog (or any one-per-line
+// trace).
+func ReadLog(r io.Reader) ([]Query, error) {
+	var out []Query
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		out = append(out, Query{Terms: strings.Fields(text)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("queries: reading log line %d: %w", line, err)
+	}
+	return out, nil
+}
+
+// SaveLog writes queries to a file.
+func SaveLog(path string, qs []Query) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("queries: %w", err)
+	}
+	defer f.Close()
+	if err := WriteLog(f, qs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLog reads queries from a file.
+func LoadLog(path string) ([]Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("queries: %w", err)
+	}
+	defer f.Close()
+	return ReadLog(f)
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult reports a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// Statistic is the maximum distance D between the two empirical
+	// CDFs.
+	Statistic float64
+	// PValue is the asymptotic probability of a distance at least this
+	// large under the null hypothesis that both samples share one
+	// distribution.
+	PValue float64
+}
+
+// KolmogorovSmirnov runs the two-sample KS test. The paper's Section
+// 4.2 uses Pearson chi-square to compare sampled and ideal error
+// distributions; the KS test is the standard binning-free alternative,
+// provided so the sampling study's conclusion can be cross-checked
+// against a different statistic (see the F7/F8 cross-check test).
+func KolmogorovSmirnov(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test needs non-empty samples (%d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		va, vb := as[i], bs[j]
+		v := math.Min(va, vb)
+		for i < len(as) && as[i] <= v {
+			i++
+		}
+		for j < len(bs) && bs[j] <= v {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{Statistic: d, PValue: ksSurvival(lambda)}, nil
+}
+
+// ksSurvival evaluates the Kolmogorov distribution's survival function
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²} (Numerical Recipes §14.3).
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	sum := 0.0
+	sign := 1.0
+	prev := 0.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(sum) || math.Abs(term) <= 1e-10*prev {
+			break
+		}
+		prev = math.Abs(term)
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

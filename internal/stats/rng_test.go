@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGForkIsReproducibleAndDecorrelated(t *testing.T) {
+	mk := func() (*RNG, *RNG) {
+		p := NewRNG(7)
+		return p.Fork(1), p.Fork(2)
+	}
+	a1, a2 := mk()
+	b1, b2 := mk()
+	for i := 0; i < 50; i++ {
+		if a1.Int63() != b1.Int63() || a2.Int63() != b2.Int63() {
+			t.Fatalf("forked streams not reproducible at draw %d", i)
+		}
+	}
+	// Distinct labels should not yield identical streams.
+	c := NewRNG(7)
+	x, y := c.Fork(10), c.Fork(11)
+	same := 0
+	for i := 0; i < 20; i++ {
+		if x.Int63() == y.Int63() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("forks with different labels produced identical streams")
+	}
+}
+
+func TestPoissonMeanAndEdgeCases(t *testing.T) {
+	g := NewRNG(123)
+	for _, mean := range []float64{0, 0.5, 3, 20, 200} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			v := g.Poisson(mean)
+			if v < 0 {
+				t.Fatalf("negative Poisson draw %d for mean %v", v, mean)
+			}
+			sum += v
+		}
+		got := float64(sum) / float64(n)
+		tol := 0.1*mean + 0.05
+		if mean > 0 {
+			tol = 4 * math.Sqrt(mean/float64(n)) * 3 // ~3 sigma with slack
+			if tol < 0.05 {
+				tol = 0.05
+			}
+		}
+		if math.Abs(got-mean) > tol {
+			t.Errorf("Poisson(%v): sample mean %v outside tolerance %v", mean, got, tol)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegativeMean(t *testing.T) {
+	g := NewRNG(1)
+	if got := g.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := g.Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,336 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Index is an inverted index over a document collection. It supports
+// the two operations the metasearching paper needs from a database:
+//
+//   - MatchCount: the number of documents containing every query term
+//     (boolean AND), i.e. the document-frequency-based relevancy r(db,q)
+//     of Section 2.1, the quantity "many databases report ... in their
+//     answer page";
+//   - Search: top-k documents by tf·idf cosine similarity, supporting
+//     the document-similarity-based relevancy definition and result
+//     fusion.
+//
+// An Index is safe for concurrent readers once building has finished;
+// Add must not race with queries.
+type Index struct {
+	tokenizer *Tokenizer
+	postings  map[string][]posting
+	docIDs    []string
+	docNorm   []float64 // tf·idf vector norms, computed lazily
+	docLen    []int     // number of terms per document
+	normDirty bool
+}
+
+// posting records one (document, term frequency) pair. Documents are
+// identified by their dense internal ordinal.
+type posting struct {
+	doc int32
+	tf  int32
+}
+
+// NewIndex returns an empty index that normalizes text with tok
+// (DefaultTokenizer when nil).
+func NewIndex(tok *Tokenizer) *Index {
+	if tok == nil {
+		tok = DefaultTokenizer()
+	}
+	return &Index{
+		tokenizer: tok,
+		postings:  make(map[string][]posting),
+	}
+}
+
+// Add indexes one document under the given external ID and returns its
+// internal ordinal. IDs need not be unique, but distinct IDs make
+// search results easier to interpret.
+func (ix *Index) Add(id, text string) int {
+	ord := int32(len(ix.docIDs))
+	ix.docIDs = append(ix.docIDs, id)
+
+	counts := make(map[string]int32)
+	n := 0
+	ix.tokenizer.TokenizeTo(text, func(term string) {
+		counts[term]++
+		n++
+	})
+	ix.docLen = append(ix.docLen, n)
+	for term, tf := range counts {
+		ix.postings[term] = append(ix.postings[term], posting{doc: ord, tf: tf})
+	}
+	ix.normDirty = true
+	return int(ord)
+}
+
+// AddTerms indexes a document given as pre-normalized terms, bypassing
+// the tokenizer. The synthetic corpus generator uses this path.
+func (ix *Index) AddTerms(id string, terms []string) int {
+	ord := int32(len(ix.docIDs))
+	ix.docIDs = append(ix.docIDs, id)
+	counts := make(map[string]int32, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	ix.docLen = append(ix.docLen, len(terms))
+	for term, tf := range counts {
+		ix.postings[term] = append(ix.postings[term], posting{doc: ord, tf: tf})
+	}
+	ix.normDirty = true
+	return int(ord)
+}
+
+// Size returns the number of indexed documents (|db| in Eq. 1).
+func (ix *Index) Size() int { return len(ix.docIDs) }
+
+// Terms returns the number of distinct terms in the index.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// TotalTerms returns the total number of term occurrences indexed (the
+// collection word count cw used by CORI-style selection).
+func (ix *Index) TotalTerms() int {
+	total := 0
+	for _, n := range ix.docLen {
+		total += n
+	}
+	return total
+}
+
+// DocID returns the external ID of document ordinal ord.
+func (ix *Index) DocID(ord int) string { return ix.docIDs[ord] }
+
+// DocLength returns the number of index terms in document ord.
+func (ix *Index) DocLength(ord int) int { return ix.docLen[ord] }
+
+// DocumentFrequency returns the number of documents containing term
+// after the index's own normalization (so callers may pass raw words).
+func (ix *Index) DocumentFrequency(term string) int {
+	norm := ix.normalizeTerm(term)
+	if norm == "" {
+		return 0
+	}
+	return len(ix.postings[norm])
+}
+
+// VocabularyFrequencies returns (term, document frequency) for every
+// distinct term — the raw material of a content summary (Figure 2 of
+// the paper).
+func (ix *Index) VocabularyFrequencies() map[string]int {
+	out := make(map[string]int, len(ix.postings))
+	for term, pl := range ix.postings {
+		out[term] = len(pl)
+	}
+	return out
+}
+
+// normalizeTerm runs a single query word through the tokenizer; it
+// returns "" if the word normalizes away (stopword, too short).
+func (ix *Index) normalizeTerm(term string) string {
+	toks := ix.tokenizer.Tokenize(term)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0]
+}
+
+// MatchCount returns the number of documents containing all query
+// terms (boolean AND over the normalized terms). A query that
+// normalizes to no terms matches nothing; duplicate terms are
+// deduplicated.
+func (ix *Index) MatchCount(query string) int {
+	lists := ix.queryPostings(query)
+	if lists == nil {
+		return 0
+	}
+	return len(intersect(lists))
+}
+
+// MatchingDocs returns the ordinals of documents containing all query
+// terms, in increasing ordinal order.
+func (ix *Index) MatchingDocs(query string) []int {
+	lists := ix.queryPostings(query)
+	if lists == nil {
+		return nil
+	}
+	docs := intersect(lists)
+	out := make([]int, len(docs))
+	for i, d := range docs {
+		out[i] = int(d)
+	}
+	return out
+}
+
+// queryPostings normalizes a query and gathers the posting list of each
+// distinct term, shortest first; it returns nil if any term is missing
+// (AND can never match) or if no terms survive normalization.
+func (ix *Index) queryPostings(query string) [][]posting {
+	terms := ix.tokenizer.Tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(terms))
+	var lists [][]posting
+	for _, t := range terms {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		pl, ok := ix.postings[t]
+		if !ok {
+			return nil
+		}
+		lists = append(lists, pl)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	return lists
+}
+
+// intersect computes the docs common to every posting list. Lists are
+// sorted by doc ordinal (documents are appended in increasing order),
+// so a galloping merge against the shortest list is efficient.
+func intersect(lists [][]posting) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	// Seed with the shortest list's docs.
+	cur := make([]int32, len(lists[0]))
+	for i, p := range lists[0] {
+		cur[i] = p.doc
+	}
+	for _, pl := range lists[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		next := cur[:0]
+		for _, d := range cur {
+			// Binary search pl for d.
+			i := sort.Search(len(pl), func(i int) bool { return pl[i].doc >= d })
+			if i < len(pl) && pl[i].doc == d {
+				next = append(next, d)
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	// DocID is the external identifier passed to Add.
+	DocID string
+	// Ordinal is the internal document number.
+	Ordinal int
+	// Score is the tf·idf cosine similarity to the query in [0, 1].
+	Score float64
+}
+
+// Search returns the k documents most similar to the query under
+// tf·idf cosine similarity (lnc.ltc-style weighting: log tf, idf on the
+// query side, cosine normalization both sides). Ties break by ordinal.
+func (ix *Index) Search(query string, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	terms := ix.tokenizer.Tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.ensureNorms()
+
+	qtf := make(map[string]float64)
+	for _, t := range terms {
+		qtf[t]++
+	}
+	n := float64(ix.Size())
+	// Query vector weights and norm.
+	qw := make(map[string]float64, len(qtf))
+	qnorm := 0.0
+	for t, tf := range qtf {
+		df := len(ix.postings[t])
+		if df == 0 {
+			continue
+		}
+		w := (1 + math.Log(tf)) * math.Log(1+n/float64(df))
+		qw[t] = w
+		qnorm += w * w
+	}
+	if len(qw) == 0 {
+		return nil
+	}
+	qnorm = math.Sqrt(qnorm)
+
+	scores := make(map[int32]float64)
+	for t, w := range qw {
+		for _, p := range ix.postings[t] {
+			scores[p.doc] += w * (1 + math.Log(float64(p.tf)))
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		denom := qnorm * ix.docNorm[doc]
+		if denom == 0 {
+			continue
+		}
+		hits = append(hits, Hit{
+			DocID:   ix.docIDs[doc],
+			Ordinal: int(doc),
+			Score:   s / denom,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Ordinal < hits[j].Ordinal
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// ensureNorms (re)computes per-document tf vector norms. Norms use the
+// same log-tf damping as Search's accumulation so the cosine is
+// consistent.
+func (ix *Index) ensureNorms() {
+	if !ix.normDirty && ix.docNorm != nil {
+		return
+	}
+	norms := make([]float64, len(ix.docIDs))
+	for _, pl := range ix.postings {
+		for _, p := range pl {
+			w := 1 + math.Log(float64(p.tf))
+			norms[p.doc] += w * w
+		}
+	}
+	for i := range norms {
+		norms[i] = math.Sqrt(norms[i])
+	}
+	ix.docNorm = norms
+	ix.normDirty = false
+}
+
+// Validate checks internal invariants (sorted posting lists, ordinals
+// within range); it is used by tests and returns the first violation.
+func (ix *Index) Validate() error {
+	n := int32(len(ix.docIDs))
+	for term, pl := range ix.postings {
+		for i, p := range pl {
+			if p.doc < 0 || p.doc >= n {
+				return fmt.Errorf("textindex: term %q posting %d has out-of-range doc %d", term, i, p.doc)
+			}
+			if p.tf <= 0 {
+				return fmt.Errorf("textindex: term %q posting %d has non-positive tf %d", term, i, p.tf)
+			}
+			if i > 0 && pl[i-1].doc >= p.doc {
+				return fmt.Errorf("textindex: term %q postings not strictly increasing at %d", term, i)
+			}
+		}
+	}
+	return nil
+}

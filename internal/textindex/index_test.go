@@ -1,0 +1,348 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizer(t *testing.T) {
+	tok := NewTokenizer(TokenizerConfig{})
+	got := tok.Tokenize("The QUICK brown-fox, jumps; over 2 lazy dogs!")
+	want := []string{"quick", "brown", "fox", "jumps", "lazy", "dogs"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerStemming(t *testing.T) {
+	tok := DefaultTokenizer()
+	got := tok.Tokenize("running runner runs")
+	want := []string{"run", "runner", "run"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerKeepStopwords(t *testing.T) {
+	tok := NewTokenizer(TokenizerConfig{KeepStopwords: true})
+	got := tok.Tokenize("the cat")
+	if len(got) != 2 || got[0] != "the" {
+		t.Errorf("Tokenize = %v, want [the cat]", got)
+	}
+}
+
+func TestTokenizerLengthBounds(t *testing.T) {
+	tok := NewTokenizer(TokenizerConfig{MinLength: 3, MaxLength: 5})
+	got := tok.Tokenize("ab abc abcde abcdef")
+	want := []string{"abc", "abcde"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerUnicode(t *testing.T) {
+	tok := NewTokenizer(TokenizerConfig{})
+	got := tok.Tokenize("Café Français naïve")
+	want := []string{"café", "français", "naïve"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+// newTestIndex builds a small collection with known statistics.
+func newTestIndex() *Index {
+	ix := NewIndex(NewTokenizer(TokenizerConfig{})) // no stemming: exact term control
+	docs := []string{
+		"breast cancer research",             // 0
+		"breast cancer treatment options",    // 1
+		"lung cancer treatment",              // 2
+		"breast reconstruction surgery",      // 3
+		"heart disease research",             // 4
+		"cancer cancer cancer awareness",     // 5 (repeated term: tf=3)
+		"breast cancer awareness month walk", // 6
+	}
+	for i, d := range docs {
+		ix.Add(fmt.Sprintf("doc%d", i), d)
+	}
+	return ix
+}
+
+func TestMatchCount(t *testing.T) {
+	ix := newTestIndex()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"breast cancer", 3}, // docs 0, 1, 6
+		{"cancer", 5},
+		{"breast", 4},
+		{"breast cancer treatment", 1},
+		{"cancer cancer", 5}, // duplicate terms deduplicate
+		{"nonexistent", 0},
+		{"breast nonexistent", 0},
+		{"", 0},
+		{"the of and", 0}, // all stopwords
+	}
+	for _, c := range cases {
+		if got := ix.MatchCount(c.q); got != c.want {
+			t.Errorf("MatchCount(%q) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMatchingDocs(t *testing.T) {
+	ix := newTestIndex()
+	got := ix.MatchingDocs("breast cancer")
+	want := []int{0, 1, 6}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("MatchingDocs = %v, want %v", got, want)
+	}
+}
+
+func TestDocumentFrequency(t *testing.T) {
+	ix := newTestIndex()
+	if got := ix.DocumentFrequency("cancer"); got != 5 {
+		t.Errorf("df(cancer) = %d, want 5", got)
+	}
+	if got := ix.DocumentFrequency("CANCER"); got != 5 {
+		t.Errorf("df(CANCER) = %d, want 5 (normalization)", got)
+	}
+	if got := ix.DocumentFrequency("zzz"); got != 0 {
+		t.Errorf("df(zzz) = %d, want 0", got)
+	}
+	if got := ix.DocumentFrequency("the"); got != 0 {
+		t.Errorf("df(stopword) = %d, want 0", got)
+	}
+}
+
+func TestVocabularyFrequencies(t *testing.T) {
+	ix := newTestIndex()
+	vocab := ix.VocabularyFrequencies()
+	if vocab["cancer"] != 5 || vocab["breast"] != 4 || vocab["walk"] != 1 {
+		t.Errorf("vocabulary frequencies wrong: %v", vocab)
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := newTestIndex()
+	hits := ix.Search("breast cancer", 3)
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits, want 3", len(hits))
+	}
+	// Every returned doc must contain at least one query term, scores
+	// must be in [0,1] and non-increasing.
+	for i, h := range hits {
+		if h.Score < 0 || h.Score > 1+1e-9 {
+			t.Errorf("hit %d score %v outside [0,1]", i, h.Score)
+		}
+		if i > 0 && hits[i].Score > hits[i-1].Score {
+			t.Errorf("hits not sorted: %v", hits)
+		}
+	}
+	// doc0 ("breast cancer research") should rank above doc3 (only
+	// "breast") and doc5 (only "cancer") — it has both terms.
+	if hits[0].DocID != "doc0" && hits[0].DocID != "doc1" && hits[0].DocID != "doc6" {
+		t.Errorf("top hit %q should contain both query terms", hits[0].DocID)
+	}
+}
+
+func TestSearchEdgeCases(t *testing.T) {
+	ix := newTestIndex()
+	if hits := ix.Search("", 5); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+	if hits := ix.Search("zzz", 5); hits != nil {
+		t.Errorf("unknown term returned %v", hits)
+	}
+	if hits := ix.Search("cancer", 0); hits != nil {
+		t.Errorf("k=0 returned %v", hits)
+	}
+	if hits := ix.Search("cancer", 100); len(hits) != 5 {
+		t.Errorf("k>matches returned %d hits, want 5", len(hits))
+	}
+}
+
+func TestSearchAfterIncrementalAdd(t *testing.T) {
+	ix := newTestIndex()
+	before := ix.Search("cancer", 10)
+	ix.Add("new", "cancer cancer cancer cancer cancer")
+	after := ix.Search("cancer", 10)
+	if len(after) != len(before)+1 {
+		t.Errorf("after add: %d hits, want %d", len(after), len(before)+1)
+	}
+}
+
+func TestIndexValidate(t *testing.T) {
+	ix := newTestIndex()
+	if err := ix.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddTerms(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.AddTerms("d0", []string{"alpha", "beta", "alpha"})
+	if got := ix.MatchCount("alpha beta"); got != 1 {
+		t.Errorf("MatchCount = %d, want 1", got)
+	}
+	if ix.DocLength(0) != 3 {
+		t.Errorf("DocLength = %d, want 3", ix.DocLength(0))
+	}
+	if ix.DocID(0) != "d0" {
+		t.Errorf("DocID = %q", ix.DocID(0))
+	}
+}
+
+// TestMatchCountAgainstLinearScan is a property test: the inverted
+// index must agree with a brute-force scan over random collections.
+func TestMatchCountAgainstLinearScan(t *testing.T) {
+	vocab := []string{"aa", "bb", "cc", "dd", "ee"}
+	f := func(docSeeds []uint16, q1, q2 uint8) bool {
+		if len(docSeeds) > 30 {
+			docSeeds = docSeeds[:30]
+		}
+		ix := NewIndex(NewTokenizer(TokenizerConfig{}))
+		docs := make([][]string, len(docSeeds))
+		for i, seed := range docSeeds {
+			var terms []string
+			for j, v := range vocab {
+				if seed&(1<<j) != 0 {
+					terms = append(terms, v)
+				}
+			}
+			docs[i] = terms
+			ix.AddTerms(fmt.Sprintf("d%d", i), terms)
+		}
+		qterms := []string{vocab[int(q1)%len(vocab)], vocab[int(q2)%len(vocab)]}
+		query := strings.Join(qterms, " ")
+
+		want := 0
+		for _, d := range docs {
+			has := func(t string) bool {
+				for _, dt := range d {
+					if dt == t {
+						return true
+					}
+				}
+				return false
+			}
+			if has(qterms[0]) && has(qterms[1]) {
+				want++
+			}
+		}
+		return ix.MatchCount(query) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSearchAgainstBruteForceCosine verifies the ranked retrieval path
+// against a straightforward full-scan cosine computation.
+func TestSearchAgainstBruteForceCosine(t *testing.T) {
+	ix := NewIndex(NewTokenizer(TokenizerConfig{}))
+	docs := []string{
+		"alpha beta beta gamma",
+		"alpha alpha alpha",
+		"beta gamma delta",
+		"gamma gamma gamma delta delta",
+		"alpha beta gamma delta epsilon",
+	}
+	for i, d := range docs {
+		ix.Add(fmt.Sprintf("d%d", i), d)
+	}
+	query := "alpha gamma"
+	hits := ix.Search(query, len(docs))
+
+	// Brute force with the same weighting scheme.
+	n := float64(len(docs))
+	df := map[string]float64{}
+	tok := NewTokenizer(TokenizerConfig{})
+	parsed := make([]map[string]float64, len(docs))
+	for i, d := range docs {
+		m := map[string]float64{}
+		for _, t := range tok.Tokenize(d) {
+			m[t]++
+		}
+		parsed[i] = m
+		for t := range m {
+			df[t]++
+		}
+	}
+	qv := map[string]float64{}
+	for _, t := range tok.Tokenize(query) {
+		qv[t]++
+	}
+	var qnorm float64
+	qw := map[string]float64{}
+	for t, tf := range qv {
+		if df[t] == 0 {
+			continue
+		}
+		w := (1 + math.Log(tf)) * math.Log(1+n/df[t])
+		qw[t] = w
+		qnorm += w * w
+	}
+	qnorm = math.Sqrt(qnorm)
+	type ds struct {
+		ord   int
+		score float64
+	}
+	var want []ds
+	for i, m := range parsed {
+		var dot, dnorm float64
+		for t, tf := range m {
+			w := 1 + math.Log(tf)
+			dnorm += w * w
+			if qwt, ok := qw[t]; ok {
+				dot += qwt * w
+			}
+		}
+		if dot > 0 {
+			want = append(want, ds{i, dot / (qnorm * math.Sqrt(dnorm))})
+		}
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].score != want[j].score {
+			return want[i].score > want[j].score
+		}
+		return want[i].ord < want[j].ord
+	})
+	if len(hits) != len(want) {
+		t.Fatalf("got %d hits, want %d", len(hits), len(want))
+	}
+	for i := range hits {
+		if hits[i].Ordinal != want[i].ord || math.Abs(hits[i].Score-want[i].score) > 1e-12 {
+			t.Errorf("hit %d = (%d, %v), want (%d, %v)", i, hits[i].Ordinal, hits[i].Score, want[i].ord, want[i].score)
+		}
+	}
+}
+
+func BenchmarkMatchCount(b *testing.B) {
+	ix := NewIndex(nil)
+	for i := 0; i < 5000; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), fmt.Sprintf("term%d cancer breast term%d health", i%50, i%7))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.MatchCount("breast cancer")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := NewIndex(nil)
+	for i := 0; i < 5000; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), fmt.Sprintf("term%d cancer breast term%d health", i%50, i%7))
+	}
+	ix.Search("warmup", 1)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Search("breast cancer health", 10)
+	}
+}

@@ -1,0 +1,140 @@
+package textindex
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	ix := newTestIndex()
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadIndex(&buf, NewTokenizer(TokenizerConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != ix.Size() || loaded.Terms() != ix.Terms() {
+		t.Fatalf("size/terms: %d/%d vs %d/%d", loaded.Size(), loaded.Terms(), ix.Size(), ix.Terms())
+	}
+	for i := 0; i < ix.Size(); i++ {
+		if loaded.DocID(i) != ix.DocID(i) || loaded.DocLength(i) != ix.DocLength(i) {
+			t.Fatalf("document %d metadata differs", i)
+		}
+	}
+	// Identical search behaviour.
+	for _, q := range []string{"breast cancer", "cancer", "breast cancer treatment", "zzz"} {
+		if a, b := ix.MatchCount(q), loaded.MatchCount(q); a != b {
+			t.Errorf("MatchCount(%q): %d vs %d", q, a, b)
+		}
+		ha := ix.Search(q, 10)
+		hb := loaded.Search(q, 10)
+		if len(ha) != len(hb) {
+			t.Fatalf("Search(%q) lengths differ", q)
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Errorf("Search(%q) hit %d: %+v vs %+v", q, i, ha[i], hb[i])
+			}
+		}
+	}
+}
+
+func TestIndexSnapshotLargeRoundTrip(t *testing.T) {
+	ix := NewIndex(nil)
+	for i := 0; i < 2000; i++ {
+		ix.Add(fmt.Sprintf("doc-%05d", i),
+			fmt.Sprintf("term%d cancer breast research term%d health study", i%97, i%13))
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.MatchCount("breast cancer"), ix.MatchCount("breast cancer"); got != want {
+		t.Errorf("MatchCount %d vs %d", got, want)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("hi"),
+		[]byte("MPIX"),                 // truncated magic
+		[]byte{'M', 'P', 'I', 'X', 99}, // wrong version
+		[]byte{'X', 'P', 'I', 'X', 1},  // wrong magic
+		append([]byte{'M', 'P', 'I', 'X', 1}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), // huge doc count
+	}
+	for i, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data), nil); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadIndexRejectsTruncatedSnapshot(t *testing.T) {
+	ix := newTestIndex()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop the snapshot at several points; every prefix must fail
+	// cleanly (no panic, no silent truncation).
+	for _, cut := range []int{6, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut]), nil); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	ix := newTestIndex()
+	var a, b bytes.Buffer
+	if _, err := ix.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of the same index differ (term ordering not canonical?)")
+	}
+}
+
+func TestSnapshotCompactness(t *testing.T) {
+	// The varint-delta encoding should be much smaller than a naive
+	// textual dump of the postings.
+	ix := NewIndex(nil)
+	var text strings.Builder
+	for i := 0; i < 500; i++ {
+		doc := fmt.Sprintf("alpha beta gamma term%d", i%7)
+		ix.Add(fmt.Sprintf("d%d", i), doc)
+		text.WriteString(doc)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// ~4 postings per doc; snapshot must stay within a few bytes per
+	// posting plus the ID table.
+	if buf.Len() > 500*20 {
+		t.Errorf("snapshot is %d bytes for 500 tiny docs; encoding looks bloated", buf.Len())
+	}
+}

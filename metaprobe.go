@@ -1,0 +1,488 @@
+// Package metaprobe is a metasearcher for Hidden-Web databases with
+// probabilistic database selection and adaptive probing, reproducing
+//
+//	Liu, Luo, Cho, Chu. "A Probabilistic Approach to Metasearching
+//	with Adaptive Probing." ICDE 2004.
+//
+// A metasearcher mediates many keyword-searchable document databases.
+// Given a query, it must pick the k most relevant databases without
+// contacting all of them. metaprobe does this in three tiers:
+//
+//   - Baseline: rank databases by the classic term-independence
+//     estimate computed from local content summaries (Eq. 1 of the
+//     paper) — fast, but often wrong because query terms are
+//     correlated differently in different databases.
+//   - RD-based: model each database's estimation error as a learned
+//     per-query-type distribution and select the set with the highest
+//     expected correctness — substantially more accurate at the same
+//     (zero) query-time cost.
+//   - Adaptive probing: when the expected correctness is below a
+//     user-required certainty level, issue the live query to a few
+//     carefully chosen databases until the certainty is met.
+//
+// # Quick start
+//
+//	dbs := []metaprobe.Database{ ... }                  // your sources
+//	sums, _ := metaprobe.ExactSummaries(dbs)            // or SampleSummaries
+//	ms, _ := metaprobe.New(dbs, sums, nil)
+//	_ = ms.Train(trainingQueries)                       // learn error model
+//	res, _ := ms.SelectWithCertainty("breast cancer", 2, metaprobe.Absolute, 0.9, -1)
+//	fmt.Println(res.Databases, res.Certainty)
+//
+// See the examples/ directory for complete programs.
+package metaprobe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/estimate"
+	"metaprobe/internal/fusion"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+	"metaprobe/internal/summary"
+	"metaprobe/internal/textindex"
+)
+
+// Re-exported types: the public API is the root package; internal
+// packages provide the implementation.
+type (
+	// Database is the search interface of one Hidden-Web database.
+	Database = hidden.Database
+	// Result is a database's answer page.
+	Result = hidden.Result
+	// DocSummary is one ranked document on an answer page.
+	DocSummary = hidden.DocSummary
+	// Summary is a database's content summary ((term, df) statistics).
+	Summary = summary.Summary
+	// Relevancy is a database-relevancy definition with its estimator.
+	Relevancy = estimate.Relevancy
+	// Metric selects absolute or partial correctness.
+	Metric = core.Metric
+	// Policy chooses which database to probe next.
+	Policy = core.Policy
+	// MergedResult is one fused result document.
+	MergedResult = fusion.Item
+)
+
+// Correctness metrics (Section 3.2 of the paper).
+const (
+	// Absolute correctness: the selected set must equal the true top-k.
+	Absolute = core.Absolute
+	// Partial correctness: credit for the overlap with the true top-k.
+	Partial = core.Partial
+)
+
+// Config tunes a Metasearcher; the zero value (or nil) gives the
+// paper's defaults for document-frequency relevancy.
+type Config struct {
+	// Relevancy is the relevancy definition (default: document
+	// frequency with the term-independence estimator).
+	Relevancy Relevancy
+	// Model is the error-model training configuration.
+	Model core.Config
+	// BestSet bounds the absolute-metric set search.
+	BestSet core.BestSetOptions
+	// OnlineRefinement feeds every live probe back into the error
+	// model (the paper's future-work direction): probes double as free
+	// training samples, so the model tracks database drift.
+	OnlineRefinement bool
+}
+
+// DocFrequencyRelevancy returns the paper's default relevancy: number
+// of matching documents, estimated by term independence (Eq. 1).
+func DocFrequencyRelevancy() Relevancy { return estimate.NewDocFrequency() }
+
+// DocSimilarityRelevancy returns the alternative definition of Section
+// 2.1: best-document cosine similarity, estimated GlOSS-style. Pair it
+// with SimilarityModelConfig.
+func DocSimilarityRelevancy() Relevancy { return estimate.NewDocSimilarity() }
+
+// SimilarityModelConfig returns the training configuration suited to
+// cosine relevancy values in [0, 1].
+func SimilarityModelConfig() core.Config { return core.SimilarityConfig() }
+
+// Metasearcher mediates a set of databases: it estimates, selects, and
+// probes on behalf of user queries, and fuses the final results.
+type Metasearcher struct {
+	tb    *hidden.Testbed
+	sums  *summary.Set
+	rel   Relevancy
+	cfg   Config
+	model *core.Model
+}
+
+// New builds a metasearcher over the given databases and their content
+// summaries (one per database, in order). Selection beyond the
+// baseline requires Train.
+func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("metaprobe: need at least one database")
+	}
+	if len(sums) != len(dbs) {
+		return nil, fmt.Errorf("metaprobe: %d summaries for %d databases", len(sums), len(dbs))
+	}
+	tb, err := hidden.NewTestbed(dbs)
+	if err != nil {
+		return nil, fmt.Errorf("metaprobe: %w", err)
+	}
+	for i, s := range sums {
+		if s == nil {
+			return nil, fmt.Errorf("metaprobe: summary %d is nil", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("metaprobe: %w", err)
+		}
+	}
+	c := Config{Model: core.DefaultConfig()}
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.Relevancy == nil {
+		c.Relevancy = estimate.NewDocFrequency()
+	}
+	return &Metasearcher{
+		tb:   tb,
+		sums: &summary.Set{Summaries: sums},
+		rel:  c.Relevancy,
+		cfg:  c,
+	}, nil
+}
+
+// Databases returns the mediated database names in order.
+func (m *Metasearcher) Databases() []string {
+	out := make([]string, m.tb.Len())
+	for i := range out {
+		out[i] = m.tb.DB(i).Name()
+	}
+	return out
+}
+
+// Trained reports whether the error model has been learned.
+func (m *Metasearcher) Trained() bool { return m.model != nil }
+
+// Train learns the per-database, per-query-type error distributions by
+// issuing the training queries to every database (Section 4 of the
+// paper). Training queries should resemble the future workload; a few
+// hundred per query type suffice (Figure 8).
+func (m *Metasearcher) Train(trainQueries []string) error {
+	qs, err := parseQueries(trainQueries)
+	if err != nil {
+		return err
+	}
+	model, err := core.Train(m.tb, m.sums, m.rel, qs, m.cfg.Model)
+	if err != nil {
+		return fmt.Errorf("metaprobe: %w", err)
+	}
+	m.model = model
+	return nil
+}
+
+// Estimates returns r̂(db, q) for every database, in order.
+func (m *Metasearcher) Estimates(query string) []float64 {
+	out := make([]float64, m.tb.Len())
+	for i := range out {
+		out[i] = m.rel.Estimate(m.sums.Summaries[i], query)
+	}
+	return out
+}
+
+// SelectBaseline returns the k databases with the highest estimated
+// relevancy — the pre-paper state of the art, provided as the
+// comparison point and as the fallback before Train.
+func (m *Metasearcher) SelectBaseline(query string, k int) []string {
+	return m.names(core.TopKByScore(m.Estimates(query), k))
+}
+
+// Select returns the k-set with the highest expected correctness under
+// the probabilistic relevancy model, with no probing (the paper's
+// RD-based method), along with that expected correctness.
+func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, float64, error) {
+	sel, err := m.selection(query, metric, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	set, e := sel.Best()
+	return m.names(set), e, nil
+}
+
+// SelectionResult reports an adaptive-probing selection.
+type SelectionResult struct {
+	// Databases are the selected database names (testbed order).
+	Databases []string
+	// Certainty is the expected correctness of the answer.
+	Certainty float64
+	// Probes is the number of live probes spent.
+	Probes int
+	// Reached reports whether the requested certainty was met.
+	Reached bool
+}
+
+// SelectWithCertainty runs the paper's APro algorithm: select k
+// databases whose expected correctness meets the user-required
+// certainty t, probing as few databases as possible (greedy usefulness
+// policy). maxProbes < 0 leaves probing unbounded. Even when the
+// certainty cannot be reached (all probes failed or exhausted), the
+// best available set is returned with Reached=false.
+func (m *Metasearcher) SelectWithCertainty(query string, k int, metric Metric, t float64, maxProbes int) (*SelectionResult, error) {
+	return m.selectWithPolicy(query, k, metric, t, maxProbes, &core.Greedy{})
+}
+
+// SelectWithPolicy is SelectWithCertainty with a custom probe policy.
+func (m *Metasearcher) SelectWithPolicy(query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
+	return m.selectWithPolicy(query, k, metric, t, maxProbes, policy)
+}
+
+func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
+	sel, err := m.selection(query, metric, k)
+	if err != nil {
+		return nil, err
+	}
+	numTerms := len(strings.Fields(query))
+	probe := func(i int) (float64, error) {
+		v, err := m.rel.Probe(m.tb.DB(i), query)
+		if err == nil && m.cfg.OnlineRefinement {
+			if oerr := m.model.ObserveProbe(i, query, numTerms, v); oerr != nil {
+				return 0, oerr
+			}
+		}
+		return v, err
+	}
+	out, err := core.APro(sel, probe, policy, t, maxProbes)
+	if err != nil && len(out.Set) == 0 {
+		return nil, fmt.Errorf("metaprobe: %w", err)
+	}
+	return &SelectionResult{
+		Databases: m.names(out.Set),
+		Certainty: out.Certainty,
+		Probes:    out.Probes(),
+		Reached:   out.Reached,
+	}, nil
+}
+
+// Metasearch performs the full pipeline of the paper's Figure 1:
+// select k databases with certainty t, forward the query to them, and
+// fuse the per-database results into one ranked list of resultSize
+// documents.
+func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64, resultSize int) ([]MergedResult, *SelectionResult, error) {
+	selRes, err := m.SelectWithCertainty(query, k, metric, t, -1)
+	if err != nil {
+		return nil, nil, err
+	}
+	perDB := resultSize
+	if perDB < 10 {
+		perDB = 10
+	}
+	var lists []fusion.SourceList
+	for _, name := range selRes.Databases {
+		db := m.tb.DB(m.tb.IndexOf(name))
+		res, err := db.Search(query, perDB)
+		if err != nil {
+			// A database that fails at fetch time contributes nothing;
+			// selection already paid its certainty cost.
+			continue
+		}
+		lists = append(lists, fusion.SourceList{
+			Database: name,
+			Weight:   float64(res.MatchCount) + 1,
+			Docs:     res.Docs,
+		})
+	}
+	items, err := fusion.WeightedMerge(lists, resultSize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metaprobe: %w", err)
+	}
+	// Enrich results with query-centered snippets where document text
+	// is fetchable.
+	tok := textindex.DefaultTokenizer()
+	for i := range items {
+		db := m.tb.DB(m.tb.IndexOf(items[i].Database))
+		f, ok := db.(hidden.Fetcher)
+		if !ok {
+			continue
+		}
+		text, err := f.Fetch(items[i].Doc.ID)
+		if err != nil {
+			continue
+		}
+		items[i].Snippet = tok.Snippet(text, query, 16, true)
+	}
+	return items, selRes, nil
+}
+
+// selection builds the per-query state, requiring a trained model.
+func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Selection, error) {
+	if m.model == nil {
+		return nil, fmt.Errorf("metaprobe: model not trained; call Train first or use SelectBaseline")
+	}
+	if k <= 0 || k > m.tb.Len() {
+		return nil, fmt.Errorf("metaprobe: k=%d outside [1, %d]", k, m.tb.Len())
+	}
+	numTerms := len(strings.Fields(query))
+	sel := m.model.NewSelection(query, numTerms, metric, k)
+	return sel.WithBestSetOptions(m.cfg.BestSet), nil
+}
+
+// names maps database indices to names.
+func (m *Metasearcher) names(set []int) []string {
+	out := make([]string, len(set))
+	for i, idx := range set {
+		out[i] = m.tb.DB(idx).Name()
+	}
+	return out
+}
+
+// parseQueries converts query strings into the internal representation,
+// rejecting empties.
+func parseQueries(qs []string) ([]queries.Query, error) {
+	out := make([]queries.Query, 0, len(qs))
+	for i, q := range qs {
+		terms := strings.Fields(q)
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("metaprobe: query %d is empty", i)
+		}
+		out = append(out, queries.Query{Terms: terms})
+	}
+	return out, nil
+}
+
+// Explanation describes why the metasearcher ranks databases the way
+// it does for one query.
+type Explanation struct {
+	// Database is the database's name.
+	Database string
+	// Estimate is r̂(db, q) from the summary (Eq. 1).
+	Estimate float64
+	// ExpectedRelevancy is the mean of the database's relevancy
+	// distribution after error correction.
+	ExpectedRelevancy float64
+	// MembershipProb is P(db ∈ true top-k) under the model.
+	MembershipProb float64
+	// QueryType is the decision-tree leaf the query fell into for this
+	// database ("2-term/high", ...).
+	QueryType string
+}
+
+// Explain returns per-database diagnostics for a query: the raw
+// estimate, the error-corrected expected relevancy, and the membership
+// probability that drives selection. Requires a trained model.
+func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
+	sel, err := m.selection(query, Absolute, k)
+	if err != nil {
+		return nil, err
+	}
+	marginals := sel.Marginals()
+	numTerms := len(strings.Fields(query))
+	out := make([]Explanation, m.tb.Len())
+	for i := range out {
+		rhat := sel.Estimate(i)
+		out[i] = Explanation{
+			Database:          m.tb.DB(i).Name(),
+			Estimate:          rhat,
+			ExpectedRelevancy: sel.RD(i).Mean(),
+			MembershipProb:    marginals[i],
+			QueryType:         m.model.Cfg.Classifier.Classify(numTerms, rhat).String(),
+		}
+	}
+	return out, nil
+}
+
+// SaveModel persists the trained error model (including the content
+// summaries) as JSON, so future sessions can skip training.
+func (m *Metasearcher) SaveModel(path string) error {
+	if m.model == nil {
+		return fmt.Errorf("metaprobe: nothing to save; call Train first")
+	}
+	return m.model.Save(path)
+}
+
+// NewFromModel builds a metasearcher from databases and a previously
+// saved model file. Database names must match the model's databases,
+// in order; summaries and the relevancy definition come from the file.
+func NewFromModel(dbs []Database, modelPath string, cfg *Config) (*Metasearcher, error) {
+	model, err := core.LoadModel(modelPath)
+	if err != nil {
+		return nil, fmt.Errorf("metaprobe: %w", err)
+	}
+	if len(dbs) != len(model.DBs) {
+		return nil, fmt.Errorf("metaprobe: %d databases for a %d-database model", len(dbs), len(model.DBs))
+	}
+	for i, db := range dbs {
+		if db.Name() != model.DBs[i].Name {
+			return nil, fmt.Errorf("metaprobe: database %d is %q but the model expects %q", i, db.Name(), model.DBs[i].Name)
+		}
+	}
+	ms, err := New(dbs, model.Summaries.Summaries, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ms.rel = model.Rel
+	ms.model = model
+	return ms, nil
+}
+
+// NewLocalDatabase builds an in-process database from raw documents
+// (ID → text). It implements Database, Sizer and Fetcher.
+func NewLocalDatabase(name string, docs map[string]string) Database {
+	ix := textindex.NewIndex(nil)
+	local := hidden.NewLocal(name, ix)
+	// Deterministic insertion order: sort IDs.
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ix.Add(id, docs[id])
+		local.StoreText(id, docs[id])
+	}
+	return local
+}
+
+// NewHTTPDatabase returns a client for a remote database serving the
+// metaprobe answer-page protocol at baseURL (see hidden.Server). Set
+// scrapeHTML to exercise the HTML answer-page scraper instead of JSON.
+func NewHTTPDatabase(name, baseURL string, scrapeHTML bool) Database {
+	c := hidden.NewClient(name, baseURL)
+	c.UseHTML = scrapeHTML
+	return c
+}
+
+// ExactSummaries builds exact content summaries for databases that are
+// in-process (created by NewLocalDatabase or the corpus builder). It
+// fails for remote databases — sample those with SampleSummaries.
+func ExactSummaries(dbs []Database) ([]*Summary, error) {
+	out := make([]*Summary, len(dbs))
+	for i, db := range dbs {
+		local, ok := db.(*hidden.Local)
+		if !ok {
+			return nil, fmt.Errorf("metaprobe: database %s is not local; use SampleSummaries", db.Name())
+		}
+		out[i] = summary.FromLocal(local)
+	}
+	return out, nil
+}
+
+// SampleSummaries builds content summaries through the databases'
+// public search interfaces by query-based sampling: probe with seed
+// words, fetch top documents, and accumulate term statistics. Works
+// for any database implementing document fetching (including the HTTP
+// client).
+func SampleSummaries(dbs []Database, seedTerms []string, numQueries int, seed int64) ([]*Summary, error) {
+	out := make([]*Summary, len(dbs))
+	rng := stats.NewRNG(seed)
+	for i, db := range dbs {
+		s, err := summary.Sample(db, summary.SampleConfig{
+			SeedTerms:  seedTerms,
+			NumQueries: numQueries,
+		}, rng.Fork(int64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("metaprobe: %w", err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package metaprobe
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeSaveAndReloadModel(t *testing.T) {
+	ms, test := buildTestMetasearcher(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := ms.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the metasearcher from the file (no re-training).
+	dbs := make([]Database, ms.tb.Len())
+	for i := range dbs {
+		dbs[i] = ms.tb.DB(i)
+	}
+	loaded, err := NewFromModel(dbs, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Trained() {
+		t.Fatal("loaded metasearcher is not trained")
+	}
+	// Same selections as the original on a sample of queries.
+	for _, q := range test[:20] {
+		a, ea, err := ms.Select(q, 2, Absolute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, eb, err := loaded.Select(q, 2, Absolute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] || ea != eb {
+			t.Fatalf("selection diverged for %q: %v@%v vs %v@%v", q, a, ea, b, eb)
+		}
+	}
+
+	// Mismatched databases are rejected.
+	if _, err := NewFromModel(dbs[:3], path, nil); err == nil {
+		t.Error("database-count mismatch must fail")
+	}
+	swapped := append([]Database(nil), dbs...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := NewFromModel(swapped, path, nil); err == nil {
+		t.Error("database-name mismatch must fail")
+	}
+	if _, err := NewFromModel(dbs, filepath.Join(t.TempDir(), "none.json"), nil); err == nil {
+		t.Error("missing model file must fail")
+	}
+}
+
+func TestSaveModelUntrained(t *testing.T) {
+	db := NewLocalDatabase("d", map[string]string{"a": "text here"})
+	sums, err := ExactSummaries([]Database{db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := New([]Database{db}, sums, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SaveModel(filepath.Join(t.TempDir(), "m.json")); err == nil {
+		t.Error("saving an untrained model must fail")
+	}
+}
+
+// TestOnlineRefinement verifies that probes feed the model when the
+// option is on: the per-type observation counts grow during selection.
+func TestOnlineRefinement(t *testing.T) {
+	ms, test := buildTestMetasearcher(t)
+	ms.cfg.OnlineRefinement = true
+
+	countObservations := func() int64 {
+		var total int64
+		for _, dm := range ms.model.DBs {
+			for _, ed := range dm.EDs {
+				total += ed.Observations()
+			}
+		}
+		return total
+	}
+	before := countObservations()
+	var probes int
+	for _, q := range test {
+		res, err := ms.SelectWithCertainty(q, 1, Absolute, 0.99, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probes += res.Probes
+		if probes > 10 {
+			break
+		}
+	}
+	if probes == 0 {
+		t.Skip("no query required probing; cannot exercise refinement")
+	}
+	after := countObservations()
+	if after != before+int64(probes) {
+		t.Errorf("observations grew by %d for %d probes", after-before, probes)
+	}
+}
+
+// TestDocSimilarityPipeline runs the alternative relevancy definition
+// end to end: training, selection and probing under best-document
+// cosine relevancy.
+func TestDocSimilarityPipeline(t *testing.T) {
+	onco := NewLocalDatabase("onco", map[string]string{
+		"o1": "breast cancer screening", "o2": "breast cancer therapy",
+		"o3": "lung cancer staging", "o4": "tumor biopsy results",
+	})
+	cardio := NewLocalDatabase("cardio", map[string]string{
+		"c1": "heart attack response", "c2": "blood pressure control",
+		"c3": "cardiac surgery recovery",
+	})
+	dbs := []Database{onco, cardio}
+	sums, err := ExactSummaries(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := New(dbs, sums, &Config{
+		Relevancy: DocSimilarityRelevancy(),
+		Model:     SimilarityModelConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := []string{
+		"breast cancer", "cancer therapy", "heart attack", "blood pressure",
+		"tumor biopsy", "cardiac surgery", "cancer staging", "pressure control",
+		"breast screening", "attack response",
+	}
+	if err := ms.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	set, certainty, err := ms.Select("breast cancer", 1, Absolute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set[0] != "onco" {
+		t.Errorf("similarity selection picked %v for 'breast cancer'", set)
+	}
+	if certainty <= 0 || certainty > 1 {
+		t.Errorf("certainty %v out of range", certainty)
+	}
+	res, err := ms.SelectWithCertainty("heart attack", 1, Absolute, 0.9, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Databases[0] != "cardio" {
+		t.Errorf("similarity APro picked %v for 'heart attack'", res.Databases)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ms, test := buildTestMetasearcher(t)
+	expl, err := ms.Explain(test[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expl) != len(ms.Databases()) {
+		t.Fatalf("explanations for %d of %d databases", len(expl), len(ms.Databases()))
+	}
+	var totalMembership float64
+	for _, e := range expl {
+		if e.Database == "" || e.QueryType == "" {
+			t.Errorf("incomplete explanation %+v", e)
+		}
+		if e.MembershipProb < 0 || e.MembershipProb > 1 {
+			t.Errorf("membership %v out of range", e.MembershipProb)
+		}
+		if e.Estimate < 0 || e.ExpectedRelevancy < 0 {
+			t.Errorf("negative relevancy fields %+v", e)
+		}
+		totalMembership += e.MembershipProb
+	}
+	// Membership probabilities over all databases sum to exactly k.
+	if totalMembership < 1.99 || totalMembership > 2.01 {
+		t.Errorf("membership probabilities sum to %v, want 2 (k)", totalMembership)
+	}
+	// Untrained metasearchers cannot explain.
+	db := NewLocalDatabase("d", map[string]string{"a": "words here"})
+	sums, _ := ExactSummaries([]Database{db})
+	fresh, _ := New([]Database{db}, sums, nil)
+	if _, err := fresh.Explain("words", 1); err == nil {
+		t.Error("untrained Explain must fail")
+	}
+}
+
+// TestMetasearchSnippets: fused results from fetchable databases carry
+// query-centered snippets.
+func TestMetasearchSnippets(t *testing.T) {
+	ms, test := buildTestMetasearcher(t)
+	for _, q := range test {
+		items, _, err := ms.Metasearch(q, 2, Partial, 0.7, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if it.Snippet == "" {
+				t.Fatalf("item %s/%s missing snippet", it.Database, it.Doc.ID)
+			}
+		}
+		if len(items) > 0 {
+			return
+		}
+	}
+	t.Error("no query produced results")
+}
