@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +46,9 @@ type loadReport struct {
 	p99         time.Duration
 	avgProbes   float64
 	reachedFrac float64
+	// metrics is the final Prometheus-format snapshot of the registry
+	// every database wrapper and selection call recorded into.
+	metrics string
 }
 
 func main() {
@@ -77,12 +80,14 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	if err != nil {
 		return loadReport{}, err
 	}
+	reg := metaprobe.NewMetrics()
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
-		dbs[i] = hidden.NewLatency(tb.DB(i), cfg.latency)
+		dbs[i] = metaprobe.InstrumentDatabase(hidden.NewLatency(tb.DB(i), cfg.latency), reg)
 	}
-	// Summaries and training run against the raw databases (offline
-	// work); only query-time probes pay the latency.
+	// Summaries are computed from the raw databases; training and
+	// query-time traffic go through the wrappers, so the per-database
+	// metrics include the training workload.
 	raw := make([]metaprobe.Database, tb.Len())
 	for i := range raw {
 		raw[i] = tb.DB(i)
@@ -91,7 +96,7 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	if err != nil {
 		return loadReport{}, err
 	}
-	ms, err := metaprobe.New(dbs, sums, nil)
+	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{Metrics: reg})
 	if err != nil {
 		return loadReport{}, err
 	}
@@ -118,8 +123,9 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	}
 
 	progress("replaying %d queries with concurrency %d...", len(workload), cfg.concurrency)
+	latencyHist := reg.Histogram("loadtest_query_latency_seconds", nil)
+	reg.Help("loadtest_query_latency_seconds", "End-to-end latency of one workload query.")
 	type sample struct {
-		latency time.Duration
 		probes  int
 		reached bool
 	}
@@ -144,7 +150,8 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 					errMu.Unlock()
 					continue
 				}
-				samples[qi] = sample{latency: time.Since(qStart), probes: res.Probes, reached: res.Reached}
+				latencyHist.Observe(time.Since(qStart).Seconds())
+				samples[qi] = sample{probes: res.Probes, reached: res.Reached}
 			}
 		}()
 	}
@@ -158,28 +165,30 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	}
 	wall := time.Since(start)
 
-	latencies := make([]time.Duration, len(samples))
 	var probes, reached float64
-	for i, s := range samples {
-		latencies[i] = s.latency
+	for _, s := range samples {
 		probes += float64(s.probes)
 		if s.reached {
 			reached++
 		}
 	}
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
+	// Percentiles come from the shared obs histogram — the same
+	// estimator the /metrics endpoint exposes — instead of ad-hoc
+	// sorting.
+	qs := latencyHist.Quantiles(0.50, 0.90, 0.99)
+	var snapshot strings.Builder
+	if err := reg.WritePrometheus(&snapshot); err != nil {
+		return loadReport{}, err
 	}
 	return loadReport{
 		queries:     len(workload),
 		wall:        wall,
-		p50:         pct(0.50),
-		p90:         pct(0.90),
-		p99:         pct(0.99),
+		p50:         time.Duration(qs[0] * float64(time.Second)),
+		p90:         time.Duration(qs[1] * float64(time.Second)),
+		p99:         time.Duration(qs[2] * float64(time.Second)),
 		avgProbes:   probes / float64(len(workload)),
 		reachedFrac: reached / float64(len(workload)),
+		metrics:     snapshot.String(),
 	}, nil
 }
 
@@ -194,4 +203,7 @@ func printReport(w *os.File, cfg loadConfig, rep loadReport) {
 	fmt.Fprintf(w, "latency p99      %v\n", rep.p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "avg probes       %.2f\n", rep.avgProbes)
 	fmt.Fprintf(w, "reached target   %.1f%%\n", rep.reachedFrac*100)
+	if rep.metrics != "" {
+		fmt.Fprintf(w, "\n--- metrics snapshot (Prometheus text format) ---\n%s", rep.metrics)
+	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -37,5 +38,16 @@ func TestRunLoadTest(t *testing.T) {
 	// take at least 1ms at p99.
 	if rep.avgProbes > 0.5 && rep.p99 < time.Millisecond {
 		t.Errorf("p99 %v below injected latency despite %v avg probes", rep.p99, rep.avgProbes)
+	}
+	// The run carries a metrics snapshot with the shared histogram the
+	// percentiles came from plus the per-database instrumentation.
+	for _, want := range []string{
+		"loadtest_query_latency_seconds_count 30",
+		"metaprobe_db_search_latency_seconds",
+		"metaprobe_selections_total",
+	} {
+		if !strings.Contains(rep.metrics, want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
 	}
 }

@@ -5,20 +5,24 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"metaprobe"
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 )
 
 // web serves a browser front-end over a trained metasearcher: a search
-// form, the fused results with snippets, and the selection diagnostics
+// form, the fused results with snippets, the selection diagnostics
 // (which databases were chosen, at what certainty, with how many
-// probes).
+// probes), plus the operational endpoints /metrics (Prometheus text
+// format), /debug/trace (recent selection traces as JSON) and
+// /debug/pprof.
 func web(args []string) {
 	fs := flag.NewFlagSet("web", flag.ExitOnError)
 	addr := fs.String("addr", ":8090", "listen address")
@@ -28,60 +32,111 @@ func web(args []string) {
 	fs.Parse(args)
 
 	log.Printf("building and training the metasearcher (scale %g)...", *scale)
-	ms, err := buildDemoMetasearcher(*scale, *seed, *trainN)
+	ms, env, err := buildDemoMetasearcher(*scale, *seed, *trainN)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving the metasearch UI on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, NewWebUI(ms)))
+	log.Printf("serving the metasearch UI on %s (also /metrics, /debug/trace, /debug/pprof)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
 }
 
-// buildDemoMetasearcher assembles the health testbed behind the web UI.
-func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Metasearcher, error) {
+// webEnv bundles the observability state behind the demo server: the
+// metrics registry and trace ring the metasearcher writes into, and
+// direct handles on the per-database result caches for the
+// diagnostics panel.
+type webEnv struct {
+	reg    *metaprobe.Metrics
+	tracer *metaprobe.RingTracer
+	caches []webCache
+}
+
+// webCache pairs a database name with its cache wrapper.
+type webCache struct {
+	name  string
+	cache *hidden.Cached
+}
+
+// buildDemoMetasearcher assembles the health testbed behind the web
+// UI. Each database is wrapped with a result cache and metric
+// instrumentation; summaries are computed from the raw databases, but
+// training traffic flows through the wrappers, so the metrics start
+// with the training workload already recorded.
+func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Metasearcher, *webEnv, error) {
 	world := corpus.HealthWorld()
 	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(scale), seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	raw := make([]metaprobe.Database, tb.Len())
+	for i := range raw {
+		raw[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := &webEnv{reg: metaprobe.NewMetrics(), tracer: metaprobe.NewRingTracer(256)}
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
-		dbs[i] = tb.DB(i)
+		cached := hidden.NewCached(tb.DB(i), 512)
+		env.caches = append(env.caches, webCache{name: tb.DB(i).Name(), cache: cached})
+		dbs[i] = metaprobe.InstrumentDatabase(cached, env.reg)
 	}
-	sums, err := metaprobe.ExactSummaries(dbs)
+	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{Metrics: env.reg, Tracer: env.tracer})
 	if err != nil {
-		return nil, err
-	}
-	ms, err := metaprobe.New(dbs, sums, nil)
-	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	gen, err := queries.NewGenerator(world, queries.Config{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pool, err := gen.Pool(stats.NewRNG(seed).Fork(1), trainN, trainN)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	train := make([]string, len(pool))
 	for i, q := range pool {
 		train[i] = q.String()
 	}
 	if err := ms.Train(train); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ms, nil
+	return ms, env, nil
+}
+
+// newWebMux routes the UI alongside the operational endpoints.
+func newWebMux(ms *metaprobe.Metasearcher, env *webEnv) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", NewWebUI(ms, env))
+	mux.Handle("/metrics", obs.MetricsHandler(env.reg))
+	mux.Handle("/debug/trace", obs.TraceHandler(env.tracer))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // WebUI is the HTTP handler of the metasearch front-end.
 type WebUI struct {
 	ms  *metaprobe.Metasearcher
+	env *webEnv
 	tpl *template.Template
 }
 
-// NewWebUI wraps a trained metasearcher as a browser UI.
-func NewWebUI(ms *metaprobe.Metasearcher) *WebUI {
-	return &WebUI{ms: ms, tpl: template.Must(template.New("page").Parse(webPage))}
+// NewWebUI wraps a trained metasearcher as a browser UI. env may be
+// nil when the server runs without observability.
+func NewWebUI(ms *metaprobe.Metasearcher, env *webEnv) *WebUI {
+	return &WebUI{ms: ms, env: env, tpl: template.Must(template.New("page").Parse(webPage))}
+}
+
+// cacheRow is one line of the cache diagnostics panel.
+type cacheRow struct {
+	Database     string
+	Hits, Misses int64
+	// HitRate is a percentage in [0, 100].
+	HitRate float64
 }
 
 // webData feeds the page template.
@@ -96,6 +151,7 @@ type webData struct {
 	Explain   []metaprobe.Explanation
 	Error     string
 	Databases []string
+	Caches    []cacheRow
 }
 
 // ServeHTTP implements http.Handler.
@@ -132,11 +188,29 @@ func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		data.Elapsed = time.Since(start).Round(time.Millisecond).String()
+		data.Caches = u.cacheRows()
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := u.tpl.Execute(w, data); err != nil {
 		log.Printf("web: rendering: %v", err)
 	}
+}
+
+// cacheRows snapshots the per-database result-cache statistics.
+func (u *WebUI) cacheRows() []cacheRow {
+	if u.env == nil {
+		return nil
+	}
+	rows := make([]cacheRow, 0, len(u.env.caches))
+	for _, c := range u.env.caches {
+		hits, misses := c.cache.Stats()
+		row := cacheRow{Database: c.name, Hits: hits, Misses: misses}
+		if total := hits + misses; total > 0 {
+			row.HitRate = 100 * float64(hits) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // webPage is the single-page template (no external assets: the tool
@@ -180,5 +254,14 @@ with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}
 <td>{{printf "%.1f" .ExpectedRelevancy}}</td><td>{{printf "%.3f" .MembershipProb}}</td>
 <td>{{.QueryType}}</td></tr>{{end}}
 </table>
+{{end}}
+{{if .Caches}}
+<h3>Result caches</h3>
+<table><tr><th>database</th><th>hits</th><th>misses</th><th>hit rate</th></tr>
+{{range .Caches}}<tr><td>{{.Database}}</td><td>{{.Hits}}</td><td>{{.Misses}}</td>
+<td>{{printf "%.1f%%" .HitRate}}</td></tr>{{end}}
+</table>
+<p class="meta">full metrics at <a href="/metrics">/metrics</a>; recent selection traces at
+<a href="/debug/trace">/debug/trace</a>; profiles at <a href="/debug/pprof/">/debug/pprof</a></p>
 {{end}}{{end}}{{end}}
 </body></html>`

@@ -1,18 +1,21 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"metaprobe/internal/obs"
 )
 
 func TestWebUIEndToEnd(t *testing.T) {
-	ms, err := buildDemoMetasearcher(0.005, 7, 80)
+	ms, env, err := buildDemoMetasearcher(0.005, 7, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewWebUI(ms))
+	srv := httptest.NewServer(newWebMux(ms, env))
 	defer srv.Close()
 
 	get := func(url string) string {
@@ -41,9 +44,23 @@ func TestWebUIEndToEnd(t *testing.T) {
 		t.Error("landing page should not show a selection")
 	}
 
+	// Before any query the metrics endpoint already exposes the
+	// selection and per-database series, at zero.
+	pre := get(srv.URL + "/metrics")
+	for _, want := range []string{
+		"# TYPE metaprobe_select_latency_seconds summary",
+		"# TYPE metaprobe_probes_total counter",
+		"# TYPE metaprobe_db_search_latency_seconds summary",
+		"# TYPE metaprobe_db_cache_hits_total counter",
+	} {
+		if !strings.Contains(pre, want) {
+			t.Errorf("/metrics missing %q before first query", want)
+		}
+	}
+
 	// A query renders results, selection metadata and diagnostics.
 	page := get(srv.URL + "/?q=breast+cancer&k=2&t=0.8")
-	for _, want := range []string{"selected <b>", "certainty", "probes", "Why these databases?"} {
+	for _, want := range []string{"selected <b>", "certainty", "probes", "Why these databases?", "Result caches", "hit rate"} {
 		if !strings.Contains(page, want) {
 			t.Errorf("result page missing %q", want)
 		}
@@ -59,5 +76,44 @@ func TestWebUIEndToEnd(t *testing.T) {
 	page = get(srv.URL + "/?q=" + strings.ReplaceAll("<script>alert(1)</script>", " ", "+"))
 	if strings.Contains(page, "<script>alert(1)</script>") {
 		t.Error("query text not HTML-escaped")
+	}
+
+	// After the queries above, /metrics carries live values: selection
+	// latency quantiles, per-database search latency, cache traffic.
+	metrics := get(srv.URL + "/metrics")
+	for _, want := range []string{
+		`metaprobe_select_latency_seconds{quantile="0.5"}`,
+		`metaprobe_select_latency_seconds{quantile="0.99"}`,
+		`metaprobe_db_search_latency_seconds{db="`,
+		"metaprobe_db_cache_misses_total{db=",
+		"metaprobe_selections_total{reached=",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q after queries", want)
+		}
+	}
+	if !strings.Contains(metrics, "metaprobe_select_latency_seconds_count") {
+		t.Error("/metrics missing selection latency count")
+	}
+
+	// /debug/trace returns the recent selections as JSON, newest first.
+	var traces []obs.SelectionTrace
+	if err := json.Unmarshal([]byte(get(srv.URL+"/debug/trace?n=3")), &traces); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("/debug/trace returned %d traces, want 3", len(traces))
+	}
+	// Newest first: the oldest of the three is the first real query.
+	if traces[2].Query != "breast cancer" {
+		t.Errorf("oldest trace = %q, want the first real query", traces[2].Query)
+	}
+	if len(traces[2].Estimates) != len(ms.Databases()) {
+		t.Errorf("trace estimates %d, want one per database", len(traces[2].Estimates))
+	}
+
+	// pprof is mounted.
+	if body := get(srv.URL + "/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Error("/debug/pprof/ index missing")
 	}
 }

@@ -30,6 +30,13 @@ type ProbeStep struct {
 	Value float64
 	// Err is the probe failure, if any.
 	Err error
+	// Usefulness is the policy's expected usefulness of this probe at
+	// the moment it was chosen, when the policy reports one (see
+	// UsefulnessReporter); 0 otherwise.
+	Usefulness float64
+	// CertaintyAfter is E[Cor] of the best set after this step was
+	// applied (unchanged from before the step when Err != nil).
+	CertaintyAfter float64
 }
 
 // Outcome is the result of running APro on one query.
@@ -38,10 +45,21 @@ type Outcome struct {
 	Set []int
 	// Certainty is E[Cor(Set)] at termination.
 	Certainty float64
+	// Initial is E[Cor] of the best set before any probing — the
+	// RD-based starting point of the certainty trajectory.
+	Initial float64
 	// Steps are the probes performed, in order.
 	Steps []ProbeStep
 	// Reached reports whether Certainty met the user's threshold.
 	Reached bool
+}
+
+// UsefulnessReporter is implemented by probe policies that compute an
+// expected usefulness for the database they choose; APro records it in
+// the outcome's steps so selection traces can show why each probe was
+// picked. LastUsefulness refers to the most recent Next call.
+type UsefulnessReporter interface {
+	LastUsefulness() float64
 }
 
 // Probes returns the number of successful probes performed.
@@ -75,9 +93,20 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 	}
 	var out Outcome
 	var probeErrs []error
+	first := true
 	for {
 		set, e := s.Best()
 		out.Set, out.Certainty = set, e
+		// Every loop entry after a step re-evaluates the best set, so
+		// this is the natural place to close out the trajectory: the
+		// first evaluation is the RD-based starting certainty, later
+		// ones are the certainty after the previous step.
+		if first {
+			out.Initial = e
+			first = false
+		} else if n := len(out.Steps); n > 0 {
+			out.Steps[n-1].CertaintyAfter = e
+		}
 		if e >= t {
 			out.Reached = true
 			return out, nil
@@ -92,16 +121,20 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 		if s.Probed(i) {
 			return out, fmt.Errorf("core: policy %s chose already-probed database %d", policy.Name(), i)
 		}
+		usefulness := 0.0
+		if ur, ok := policy.(UsefulnessReporter); ok {
+			usefulness = ur.LastUsefulness()
+		}
 		v, err := probe(i)
 		if err != nil {
 			s.MarkUnprobeable(i)
-			step := ProbeStep{DB: i, Err: err}
+			step := ProbeStep{DB: i, Err: err, Usefulness: usefulness}
 			out.Steps = append(out.Steps, step)
 			probeErrs = append(probeErrs, err)
 			continue
 		}
 		s.ApplyProbe(i, v)
-		out.Steps = append(out.Steps, ProbeStep{DB: i, Value: v})
+		out.Steps = append(out.Steps, ProbeStep{DB: i, Value: v, Usefulness: usefulness})
 	}
 }
 
@@ -113,10 +146,19 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 type Greedy struct {
 	// Cost returns the probe cost of database i; nil means uniform.
 	Cost func(i int) float64
+
+	// lastUsefulness is the raw (cost-unnormalized) usefulness of the
+	// database most recently chosen by Next, for tracing. Per-call
+	// state: share one Greedy per selection, not across goroutines
+	// (the facade allocates a fresh policy per query).
+	lastUsefulness float64
 }
 
 // Name implements Policy.
 func (g *Greedy) Name() string { return "greedy" }
+
+// LastUsefulness implements UsefulnessReporter.
+func (g *Greedy) LastUsefulness() float64 { return g.lastUsefulness }
 
 // Usefulness computes the expected usefulness of probing database i:
 // Σ_v P(rᵢ = v) · max_set E[Cor(set) | rᵢ = v] (Figure 13).
@@ -150,14 +192,15 @@ func (g *Greedy) Next(s *Selection, t float64) (int, error) {
 		return 1
 	}
 	best := -1
-	bestScore, bestCost := 0.0, 0.0
+	bestScore, bestCost, bestRaw := 0.0, 0.0, 0.0
 	for _, i := range unprobed {
 		if s.RD(i).IsImpulse() {
 			// Probing a known value cannot change anything; skip
 			// unless nothing else is available.
 			continue
 		}
-		score := g.Usefulness(s, i)
+		raw := g.Usefulness(s, i)
+		score := raw
 		c := cost(i)
 		if g.Cost != nil {
 			// Normalize the *gain* by cost, not the absolute level:
@@ -170,14 +213,16 @@ func (g *Greedy) Next(s *Selection, t float64) (int, error) {
 			score > bestScore+probEpsilon,
 			// On (near-)equal scores, prefer the cheaper probe.
 			equalFloat(score, bestScore) && c < bestCost-probEpsilon:
-			best, bestScore, bestCost = i, score, c
+			best, bestScore, bestCost, bestRaw = i, score, c, raw
 		}
 	}
 	if best < 0 {
 		// All remaining RDs are impulses; probing is informationless
 		// but legal — pick the first to make progress.
 		best = unprobed[0]
+		bestRaw = current
 	}
+	g.lastUsefulness = bestRaw
 	return best, nil
 }
 

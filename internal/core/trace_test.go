@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestAProOutcomeTrajectory pins down the observability contract of
+// APro: Initial is the RD-based certainty before probing, every step
+// carries the greedy usefulness that chose it and the certainty after
+// it was applied, and the last step's CertaintyAfter equals the final
+// certainty.
+func TestAProOutcomeTrajectory(t *testing.T) {
+	sel := NewSelectionFromRDs(example6RDs(), Absolute, 1)
+	_, e0 := sel.Best()
+	probe := func(i int) (float64, error) {
+		// db1 turns out to hold 150 matching documents.
+		if i == 0 {
+			return 150, nil
+		}
+		return 130, nil
+	}
+	out, err := APro(sel, probe, &Greedy{}, 0.8, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Initial != e0 {
+		t.Errorf("Initial = %v, want pre-probe certainty %v", out.Initial, e0)
+	}
+	if len(out.Steps) == 0 {
+		t.Fatal("expected at least one probe")
+	}
+	// Example 6: greedy probes db1 first, with usefulness 0.84.
+	if out.Steps[0].DB != 0 {
+		t.Errorf("first probe hit db%d, want db1", out.Steps[0].DB+1)
+	}
+	if math.Abs(out.Steps[0].Usefulness-0.84) > 1e-12 {
+		t.Errorf("first probe usefulness = %v, want 0.84", out.Steps[0].Usefulness)
+	}
+	last := out.Steps[len(out.Steps)-1]
+	if last.CertaintyAfter != out.Certainty {
+		t.Errorf("last CertaintyAfter = %v, want final certainty %v", last.CertaintyAfter, out.Certainty)
+	}
+	// Replay the steps on a fresh selection: each recorded
+	// CertaintyAfter must match the recomputed best-set certainty.
+	replay := NewSelectionFromRDs(example6RDs(), Absolute, 1)
+	for i, step := range out.Steps {
+		replay.ApplyProbe(step.DB, step.Value)
+		if _, e := replay.Best(); math.Abs(e-step.CertaintyAfter) > 1e-12 {
+			t.Errorf("step %d: CertaintyAfter = %v, recomputed %v", i, step.CertaintyAfter, e)
+		}
+	}
+}
+
+// TestAProFailedProbeKeepsCertainty checks that a failed probe's
+// CertaintyAfter reports the unchanged certainty (marking a database
+// unprobeable does not move E[Cor]).
+func TestAProFailedProbeKeepsCertainty(t *testing.T) {
+	rds := []*RD{
+		MustRD([]float64{50, 100}, []float64{0.5, 0.5}),
+		MustRD([]float64{60, 90}, []float64{0.5, 0.5}),
+	}
+	sel := NewSelectionFromRDs(rds, Absolute, 1)
+	_, e0 := sel.Best()
+	calls := 0
+	probe := func(i int) (float64, error) {
+		calls++
+		if calls == 1 {
+			return 0, fmt.Errorf("down")
+		}
+		return 100, nil
+	}
+	out, err := APro(sel, probe, &Greedy{}, 0.99, -1)
+	if err != nil && len(out.Set) == 0 {
+		t.Fatal(err)
+	}
+	var failed *ProbeStep
+	for i := range out.Steps {
+		if out.Steps[i].Err != nil {
+			failed = &out.Steps[i]
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("expected a failed step")
+	}
+	if failed != &out.Steps[0] {
+		t.Fatalf("first step should have failed, got %+v", out.Steps)
+	}
+	if failed.CertaintyAfter != e0 {
+		t.Errorf("failed step CertaintyAfter = %v, want unchanged %v", failed.CertaintyAfter, e0)
+	}
+}
+
+// TestAProInitialSetWhenThresholdAlreadyMet: a selection that already
+// meets t records Initial == Certainty and no steps.
+func TestAProInitialSetWhenThresholdAlreadyMet(t *testing.T) {
+	rds := []*RD{Impulse(100), Impulse(10)}
+	sel := NewSelectionFromRDs(rds, Absolute, 1)
+	out, err := APro(sel, func(int) (float64, error) { return 0, errors.New("unreachable") }, &Greedy{}, 0.5, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != 0 {
+		t.Errorf("probed %d times despite met threshold", len(out.Steps))
+	}
+	if out.Initial != out.Certainty {
+		t.Errorf("Initial = %v, Certainty = %v; must agree with zero probes", out.Initial, out.Certainty)
+	}
+}
+
+// TestGreedyLastUsefulnessFallback: when every unprobed RD is an
+// impulse, Next falls back to the first candidate and reports the
+// current certainty as usefulness (an informationless probe).
+func TestGreedyLastUsefulnessFallback(t *testing.T) {
+	rds := []*RD{Impulse(100), Impulse(90)}
+	sel := NewSelectionFromRDs(rds, Absolute, 1)
+	_, current := sel.Best()
+	g := &Greedy{}
+	i, err := g.Next(sel, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 0 {
+		t.Errorf("fallback picked %d, want 0", i)
+	}
+	if g.LastUsefulness() != current {
+		t.Errorf("LastUsefulness = %v, want current %v", g.LastUsefulness(), current)
+	}
+}

@@ -48,6 +48,9 @@ func NewCached(db Database, capacity int) *Cached {
 // Name implements Database.
 func (c *Cached) Name() string { return c.db.Name() }
 
+// Unwrap returns the wrapped database.
+func (c *Cached) Unwrap() Database { return c.db }
+
 // Search implements Database with memoization. Errors are never
 // cached.
 func (c *Cached) Search(query string, topK int) (Result, error) {

@@ -25,6 +25,12 @@ type RateLimited struct {
 	db       Database
 	interval time.Duration
 
+	// OnWait, when set, observes every non-zero politeness delay —
+	// the hook the observability layer uses to expose rate-limit
+	// waiting time. Set it before the wrapper is shared between
+	// goroutines; it must itself be concurrency-safe.
+	OnWait func(time.Duration)
+
 	mu   sync.Mutex
 	next time.Time
 	// sleep is replaceable in tests.
@@ -58,10 +64,17 @@ func (r *RateLimited) Search(query string, topK int) (Result, error) {
 	r.next = start.Add(r.interval)
 	r.mu.Unlock()
 	if wait > 0 {
+		if r.OnWait != nil {
+			r.OnWait(wait)
+		}
 		r.sleep(wait)
 	}
 	return r.db.Search(query, topK)
 }
+
+// Unwrap returns the wrapped database (the middleware-chain walker
+// used by NewInstrumented).
+func (r *RateLimited) Unwrap() Database { return r.db }
 
 // Fetch passes through (document fetches piggyback on result pages and
 // are not separately throttled).
@@ -88,6 +101,12 @@ type Retry struct {
 	attempts int
 	backoff  time.Duration
 
+	// OnRetry, when set, observes every retried attempt (called once
+	// per backoff, with the error that triggered it). Set it before
+	// the wrapper is shared between goroutines; it must itself be
+	// concurrency-safe.
+	OnRetry func(error)
+
 	// sleep is replaceable in tests.
 	sleep func(time.Duration)
 }
@@ -104,12 +123,18 @@ func NewRetry(db Database, attempts int, backoff time.Duration) *Retry {
 // Name implements Database.
 func (r *Retry) Name() string { return r.db.Name() }
 
+// Unwrap returns the wrapped database.
+func (r *Retry) Unwrap() Database { return r.db }
+
 // Search implements Database with retries on transient failures.
 func (r *Retry) Search(query string, topK int) (Result, error) {
 	delay := r.backoff
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
+			if r.OnRetry != nil {
+				r.OnRetry(lastErr)
+			}
 			r.sleep(delay)
 			delay *= 2
 		}
@@ -135,6 +160,9 @@ func (r *Retry) Fetch(id string) (string, error) {
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
+			if r.OnRetry != nil {
+				r.OnRetry(lastErr)
+			}
 			r.sleep(delay)
 			delay *= 2
 		}
@@ -175,6 +203,9 @@ func NewLatency(db Database, delay time.Duration) *Latency {
 
 // Name implements Database.
 func (l *Latency) Name() string { return l.db.Name() }
+
+// Unwrap returns the wrapped database.
+func (l *Latency) Unwrap() Database { return l.db }
 
 // Search implements Database with the injected delay.
 func (l *Latency) Search(query string, topK int) (Result, error) {

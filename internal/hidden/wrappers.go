@@ -27,6 +27,9 @@ func NewCounting(db Database) *Counting {
 // Name implements Database.
 func (c *Counting) Name() string { return c.db.Name() }
 
+// Unwrap returns the wrapped database.
+func (c *Counting) Unwrap() Database { return c.db }
+
 // Search implements Database, incrementing the probe counter.
 func (c *Counting) Search(query string, topK int) (Result, error) {
 	c.searches.Add(1)
@@ -76,6 +79,9 @@ func NewFailEvery(db Database, n int) *FailEvery {
 
 // Name implements Database.
 func (f *FailEvery) Name() string { return f.db.Name() }
+
+// Unwrap returns the wrapped database.
+func (f *FailEvery) Unwrap() Database { return f.db }
 
 // Search implements Database with deterministic failures.
 func (f *FailEvery) Search(query string, topK int) (Result, error) {

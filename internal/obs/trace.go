@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ProbeTrace records one live probe of a selection, in issue order.
+type ProbeTrace struct {
+	// DB is the probed database's name.
+	DB string
+	// Index is the database's testbed index.
+	Index int
+	// Usefulness is the policy's expected usefulness of this probe at
+	// the moment it was chosen (0 when the policy does not report one).
+	Usefulness float64
+	// Value is the observed relevancy (meaningless when Err != "").
+	Value float64
+	// Err is the probe failure, if any.
+	Err string `json:",omitempty"`
+	// CertaintyAfter is E[Cor] of the best set after this probe.
+	CertaintyAfter float64
+}
+
+// SelectionTrace is the structured record of one database-selection
+// call: what the model believed, what was chosen, what it cost. It
+// replaces ad-hoc logging around Select*/APro and is what
+// /debug/trace serves.
+type SelectionTrace struct {
+	// Time is when the selection started.
+	Time time.Time
+	// Query is the user query.
+	Query string
+	// K is the requested set size.
+	K int
+	// Metric is the correctness metric ("absolute" or "partial").
+	Metric string
+	// Threshold is the user-required certainty (0 for plain Select).
+	Threshold float64
+	// Databases are the mediated database names, in testbed order.
+	Databases []string
+	// Estimates are r̂(db, q) per database, aligned with Databases.
+	Estimates []float64
+	// InitialCertainty is E[Cor] of the best set before any probing.
+	InitialCertainty float64
+	// Selected are the chosen database names.
+	Selected []string
+	// Certainty is E[Cor] of the returned set.
+	Certainty float64
+	// Reached reports whether Threshold was met.
+	Reached bool
+	// Probes are the live probes spent, in order.
+	Probes []ProbeTrace
+	// Elapsed is the wall-clock duration of the selection.
+	Elapsed time.Duration
+}
+
+// Tracer receives selection traces. Implementations must be safe for
+// concurrent use; a nil Tracer disables tracing at zero cost (call
+// sites guard with one comparison).
+type Tracer interface {
+	// TraceSelection is called once per completed selection.
+	TraceSelection(t SelectionTrace)
+}
+
+// RingTracer keeps the last N selection traces in memory — enough for
+// a /debug/trace endpoint and post-hoc "why did it pick those
+// databases?" analysis without unbounded growth.
+type RingTracer struct {
+	mu     sync.Mutex
+	traces []SelectionTrace
+	next   int
+	full   bool
+	total  int64
+}
+
+// NewRingTracer returns a tracer retaining the last capacity traces
+// (capacity ≤ 0 defaults to 64).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &RingTracer{traces: make([]SelectionTrace, capacity)}
+}
+
+// TraceSelection implements Tracer.
+func (r *RingTracer) TraceSelection(t SelectionTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traces[r.next] = t
+	r.next++
+	r.total++
+	if r.next == len(r.traces) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Last returns up to n retained traces, newest first (n ≤ 0 returns
+// all retained).
+func (r *RingTracer) Last(n int) []SelectionTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.traces)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SelectionTrace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - 1 - i + len(r.traces)) % len(r.traces)
+		out = append(out, r.traces[idx])
+	}
+	return out
+}
+
+// Total returns the number of traces ever recorded (retained or not).
+func (r *RingTracer) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// MultiTracer fans one trace out to several tracers.
+type MultiTracer []Tracer
+
+// TraceSelection implements Tracer.
+func (m MultiTracer) TraceSelection(t SelectionTrace) {
+	for _, tr := range m {
+		if tr != nil {
+			tr.TraceSelection(t)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingTracerKeepsLastN(t *testing.T) {
+	rt := NewRingTracer(3)
+	for i := 0; i < 5; i++ {
+		rt.TraceSelection(SelectionTrace{Query: fmt.Sprintf("q%d", i)})
+	}
+	got := rt.Last(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(got))
+	}
+	// Newest first.
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if got[i].Query != want {
+			t.Errorf("Last[%d] = %q, want %q", i, got[i].Query, want)
+		}
+	}
+	if rt.Total() != 5 {
+		t.Errorf("Total = %d, want 5", rt.Total())
+	}
+	if got := rt.Last(1); len(got) != 1 || got[0].Query != "q4" {
+		t.Errorf("Last(1) = %+v", got)
+	}
+}
+
+func TestRingTracerPartiallyFilled(t *testing.T) {
+	rt := NewRingTracer(10)
+	rt.TraceSelection(SelectionTrace{Query: "only"})
+	got := rt.Last(0)
+	if len(got) != 1 || got[0].Query != "only" {
+		t.Errorf("Last = %+v", got)
+	}
+}
+
+func TestRingTracerDefaultCapacity(t *testing.T) {
+	rt := NewRingTracer(0)
+	for i := 0; i < 100; i++ {
+		rt.TraceSelection(SelectionTrace{})
+	}
+	if n := len(rt.Last(0)); n != 64 {
+		t.Errorf("default capacity retained %d, want 64", n)
+	}
+}
+
+func TestRingTracerConcurrent(t *testing.T) {
+	rt := NewRingTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rt.TraceSelection(SelectionTrace{Query: "q"})
+				rt.Last(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if rt.Total() != 8*200 {
+		t.Errorf("Total = %d", rt.Total())
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	a, b := NewRingTracer(2), NewRingTracer(2)
+	mt := MultiTracer{a, nil, b}
+	mt.TraceSelection(SelectionTrace{Query: "q"})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Errorf("fan-out totals: %d, %d", a.Total(), b.Total())
+	}
+}
+
+func TestTraceHandlerServesJSON(t *testing.T) {
+	rt := NewRingTracer(8)
+	rt.TraceSelection(SelectionTrace{
+		Time:      time.Unix(1, 0),
+		Query:     "breast cancer",
+		K:         2,
+		Metric:    "absolute",
+		Threshold: 0.9,
+		Selected:  []string{"onco"},
+		Certainty: 0.93,
+		Reached:   true,
+		Probes: []ProbeTrace{
+			{DB: "onco", Index: 0, Usefulness: 0.84, Value: 130, CertaintyAfter: 0.93},
+		},
+	})
+	srv := httptest.NewServer(TraceHandler(rt))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var traces []SelectionTrace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Query != "breast cancer" || len(traces[0].Probes) != 1 {
+		t.Errorf("decoded traces = %+v", traces)
+	}
+	if traces[0].Probes[0].Usefulness != 0.84 {
+		t.Errorf("probe trace = %+v", traces[0].Probes[0])
+	}
+	// Successful probes omit the Err field from the JSON entirely.
+	raw, _ := json.Marshal(traces[0].Probes[0])
+	if strings.Contains(string(raw), `"Err"`) {
+		t.Errorf("empty Err should be omitted: %s", raw)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", nil).Inc()
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "x_total 1") {
+		t.Errorf("metrics body = %q", string(body))
+	}
+}

@@ -35,12 +35,15 @@ package metaprobe
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/estimate"
 	"metaprobe/internal/fusion"
 	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 	"metaprobe/internal/summary"
@@ -66,7 +69,48 @@ type (
 	Policy = core.Policy
 	// MergedResult is one fused result document.
 	MergedResult = fusion.Item
+	// Metrics is a concurrency-safe metrics registry (counters, gauges,
+	// latency histograms with p50/p90/p99 snapshots) with Prometheus
+	// text-format exposition. See Config.Metrics.
+	Metrics = obs.Registry
+	// Tracer receives one structured SelectionTrace per selection call.
+	// See Config.Tracer.
+	Tracer = obs.Tracer
+	// SelectionTrace is the structured record of one selection:
+	// estimates, chosen set, certainty trajectory, per-probe detail.
+	SelectionTrace = obs.SelectionTrace
+	// ProbeTrace is one probe inside a SelectionTrace.
+	ProbeTrace = obs.ProbeTrace
+	// RingTracer is a Tracer retaining the last N traces in memory.
+	RingTracer = obs.RingTracer
 )
+
+// NewMetrics returns an empty metrics registry for Config.Metrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewRingTracer returns a Tracer keeping the last capacity traces
+// (capacity ≤ 0 defaults to 64) for Config.Tracer.
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// InstrumentDatabase wraps db so that every search and fetch records
+// per-database latency, count and error metrics into reg; when db is a
+// chain of middleware (NewCached, rate limiting, retries — see
+// internal/hidden), their cache hit/miss, retry and wait statistics
+// are wired into reg as well. Wrap outermost, before sharing between
+// goroutines.
+func InstrumentDatabase(db Database, reg *Metrics) Database {
+	return hidden.NewInstrumented(db, reg)
+}
+
+// NewCachedDatabase wraps db with an LRU result cache of the given
+// capacity (entries; ≤ 0 defaults to 1024). Within a metasearch
+// session the same query hits a database repeatedly — training,
+// probing and result fetching overlap — so a small cache pays for
+// itself immediately. Cache statistics surface through
+// InstrumentDatabase.
+func NewCachedDatabase(db Database, capacity int) Database {
+	return hidden.NewCached(db, capacity)
+}
 
 // Correctness metrics (Section 3.2 of the paper).
 const (
@@ -90,6 +134,17 @@ type Config struct {
 	// model (the paper's future-work direction): probes double as free
 	// training samples, so the model tracks database drift.
 	OnlineRefinement bool
+	// Metrics, when non-nil, receives selection and probe metrics
+	// (selection latency quantiles, probe counters per database,
+	// certainty outcomes). Nil — the default — disables metric
+	// recording entirely; the only cost left on the selection path is
+	// one pointer comparison.
+	Metrics *Metrics
+	// Tracer, when non-nil, receives one SelectionTrace per Select /
+	// SelectWithCertainty / SelectWithPolicy / Metasearch call:
+	// estimates, the chosen set, and each probe's target, usefulness
+	// and certainty-after. Nil disables tracing at the same zero cost.
+	Tracer Tracer
 }
 
 // DocFrequencyRelevancy returns the paper's default relevancy: number
@@ -143,6 +198,9 @@ func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
 	}
 	if c.Relevancy == nil {
 		c.Relevancy = estimate.NewDocFrequency()
+	}
+	if c.Metrics != nil {
+		registerSelectionMetrics(c.Metrics, tb)
 	}
 	return &Metasearcher{
 		tb:   tb,
@@ -201,11 +259,13 @@ func (m *Metasearcher) SelectBaseline(query string, k int) []string {
 // the probabilistic relevancy model, with no probing (the paper's
 // RD-based method), along with that expected correctness.
 func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, float64, error) {
+	start := m.obsNow()
 	sel, err := m.selection(query, metric, k)
 	if err != nil {
 		return nil, 0, err
 	}
 	set, e := sel.Best()
+	m.observe(query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
 	return m.names(set), e, nil
 }
 
@@ -237,6 +297,7 @@ func (m *Metasearcher) SelectWithPolicy(query string, k int, metric Metric, t fl
 }
 
 func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
+	start := m.obsNow()
 	sel, err := m.selection(query, metric, k)
 	if err != nil {
 		return nil, err
@@ -255,12 +316,102 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	if err != nil && len(out.Set) == 0 {
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
+	m.observe(query, metric, t, sel, out, start)
 	return &SelectionResult{
 		Databases: m.names(out.Set),
 		Certainty: out.Certainty,
 		Probes:    out.Probes(),
 		Reached:   out.Reached,
 	}, nil
+}
+
+// registerSelectionMetrics pre-creates the selection-path series (with
+// help texts) so a metrics endpoint shows them at zero before the
+// first query arrives, rather than materializing lazily.
+func registerSelectionMetrics(reg *Metrics, tb *hidden.Testbed) {
+	reg.Help("metaprobe_select_latency_seconds", "End-to-end latency of selection calls.")
+	reg.Help("metaprobe_selections_total", "Selection calls, by whether the requested certainty was reached.")
+	reg.Help("metaprobe_selection_certainty", "Expected correctness of the returned database set.")
+	reg.Help("metaprobe_probes_total", "Successful live probes, per database.")
+	reg.Help("metaprobe_probe_errors_total", "Failed live probes, per database.")
+	reg.Histogram("metaprobe_select_latency_seconds", nil)
+	reg.Histogram("metaprobe_selection_certainty", nil)
+	for _, reached := range []string{"true", "false"} {
+		reg.Counter("metaprobe_selections_total", obs.Labels{"reached": reached})
+	}
+	for i := 0; i < tb.Len(); i++ {
+		lbl := obs.Labels{"db": tb.DB(i).Name()}
+		reg.Counter("metaprobe_probes_total", lbl)
+		reg.Counter("metaprobe_probe_errors_total", lbl)
+	}
+}
+
+// obsNow reads the clock only when some observability sink is
+// configured, keeping the disabled path free of syscalls.
+func (m *Metasearcher) obsNow() time.Time {
+	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe records metrics and emits a trace for one finished
+// selection. With both sinks nil it returns immediately.
+func (m *Metasearcher) observe(query string, metric Metric, threshold float64, sel *core.Selection, out core.Outcome, start time.Time) {
+	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
+		return
+	}
+	elapsed := time.Since(start)
+	if reg := m.cfg.Metrics; reg != nil {
+		reg.Histogram("metaprobe_select_latency_seconds", nil).Observe(elapsed.Seconds())
+		reg.Counter("metaprobe_selections_total", obs.Labels{"reached": strconv.FormatBool(out.Reached)}).Inc()
+		reg.Histogram("metaprobe_selection_certainty", nil).Observe(out.Certainty)
+		for _, step := range out.Steps {
+			name := m.tb.DB(step.DB).Name()
+			if step.Err != nil {
+				reg.Counter("metaprobe_probe_errors_total", obs.Labels{"db": name}).Inc()
+			} else {
+				reg.Counter("metaprobe_probes_total", obs.Labels{"db": name}).Inc()
+			}
+		}
+	}
+	if tr := m.cfg.Tracer; tr != nil {
+		n := m.tb.Len()
+		trace := SelectionTrace{
+			Time:             start,
+			Query:            query,
+			K:                sel.K,
+			Metric:           metric.String(),
+			Threshold:        threshold,
+			Databases:        m.Databases(),
+			Estimates:        make([]float64, n),
+			InitialCertainty: out.Initial,
+			Selected:         m.names(out.Set),
+			Certainty:        out.Certainty,
+			Reached:          out.Reached,
+			Elapsed:          elapsed,
+		}
+		for i := 0; i < n; i++ {
+			trace.Estimates[i] = sel.Estimate(i)
+		}
+		if len(out.Steps) > 0 {
+			trace.Probes = make([]ProbeTrace, len(out.Steps))
+			for i, s := range out.Steps {
+				pt := ProbeTrace{
+					DB:             m.tb.DB(s.DB).Name(),
+					Index:          s.DB,
+					Usefulness:     s.Usefulness,
+					Value:          s.Value,
+					CertaintyAfter: s.CertaintyAfter,
+				}
+				if s.Err != nil {
+					pt.Err = s.Err.Error()
+				}
+				trace.Probes[i] = pt
+			}
+		}
+		tr.TraceSelection(trace)
+	}
 }
 
 // Metasearch performs the full pipeline of the paper's Figure 1:

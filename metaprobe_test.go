@@ -14,7 +14,7 @@ import (
 
 // buildTestMetasearcher wires 6 generated health databases through the
 // public API with a trained error model.
-func buildTestMetasearcher(t *testing.T) (*Metasearcher, []string) {
+func buildTestMetasearcher(t testing.TB) (*Metasearcher, []string) {
 	t.Helper()
 	world := corpus.HealthWorld()
 	specs := corpus.HealthTestbed(0.01)[:6]

@@ -1,0 +1,70 @@
+package metaprobe
+
+import "testing"
+
+// BenchmarkSelect measures the observability layer's cost on the hot
+// selection path. The acceptance bar is that the disabled path (the
+// default nil Metrics/Tracer config) stays within 2% of a build with
+// no instrumentation at all — it performs exactly two nil pointer
+// comparisons per Select (obsNow and observe both bail immediately),
+// so compare the sub-benchmarks:
+//
+//	go test -bench BenchmarkSelect -benchtime 2s .
+//
+// "disabled" is the nil path; "metrics", "tracer" and "full" show what
+// enabling each collector costs on top.
+func BenchmarkSelect(b *testing.B) {
+	ms, queries := buildTestMetasearcher(b)
+	configs := []struct {
+		name    string
+		metrics *Metrics
+		tracer  Tracer
+	}{
+		{"disabled", nil, nil},
+		{"metrics", NewMetrics(), nil},
+		{"tracer", nil, NewRingTracer(64)},
+		{"full", NewMetrics(), NewRingTracer(64)},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			ms.cfg.Metrics = cfg.metrics
+			ms.cfg.Tracer = cfg.tracer
+			defer func() {
+				ms.cfg.Metrics = nil
+				ms.cfg.Tracer = nil
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ms.Select(queries[i%len(queries)], 2, Absolute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectWithCertainty covers the probing path, where the
+// per-step trace bookkeeping lives.
+func BenchmarkSelectWithCertainty(b *testing.B) {
+	ms, queries := buildTestMetasearcher(b)
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "full"
+			ms.cfg.Metrics = NewMetrics()
+			ms.cfg.Tracer = NewRingTracer(64)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ms.SelectWithCertainty(queries[i%len(queries)], 2, Absolute, 0.9, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	ms.cfg.Metrics = nil
+	ms.cfg.Tracer = nil
+}

@@ -1,0 +1,141 @@
+package metaprobe
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildObservedMetasearcher is buildTestMetasearcher with metrics and
+// tracing switched on.
+func buildObservedMetasearcher(t testing.TB) (*Metasearcher, []string, *Metrics, *RingTracer) {
+	t.Helper()
+	ms, queries := buildTestMetasearcher(t)
+	reg := NewMetrics()
+	tracer := NewRingTracer(32)
+	ms.cfg.Metrics = reg
+	ms.cfg.Tracer = tracer
+	return ms, queries, reg, tracer
+}
+
+func TestSelectionMetricsRecorded(t *testing.T) {
+	ms, queries, reg, _ := buildObservedMetasearcher(t)
+	for _, q := range queries[:8] {
+		if _, err := ms.SelectWithCertainty(q, 2, Absolute, 0.9, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE metaprobe_select_latency_seconds summary",
+		`metaprobe_select_latency_seconds{quantile="0.5"}`,
+		"metaprobe_select_latency_seconds_count 8",
+		"# TYPE metaprobe_selections_total counter",
+		"# TYPE metaprobe_selection_certainty summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// All 8 selections are accounted for across the reached label.
+	var total int64
+	for _, reached := range []string{"true", "false"} {
+		total += reg.Counter("metaprobe_selections_total", map[string]string{"reached": reached}).Value()
+	}
+	if total != 8 {
+		t.Errorf("selections_total = %d, want 8", total)
+	}
+}
+
+func TestSelectionTracesEmitted(t *testing.T) {
+	ms, queries, _, tracer := buildObservedMetasearcher(t)
+	res, err := ms.SelectWithCertainty(queries[0], 2, Partial, 0.95, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := tracer.Last(0)
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Query != queries[0] || tr.K != 2 || tr.Metric != "partial" || tr.Threshold != 0.95 {
+		t.Errorf("trace header = %+v", tr)
+	}
+	if len(tr.Databases) != len(ms.Databases()) || len(tr.Estimates) != len(tr.Databases) {
+		t.Errorf("trace estimates misaligned: %d dbs, %d estimates", len(tr.Databases), len(tr.Estimates))
+	}
+	if len(tr.Selected) != len(res.Databases) {
+		t.Errorf("trace selected %v, result %v", tr.Selected, res.Databases)
+	}
+	if tr.Certainty != res.Certainty || tr.Reached != res.Reached {
+		t.Errorf("trace certainty/reached mismatch: %+v vs %+v", tr, res)
+	}
+	if len(tr.Probes) != res.Probes {
+		// Probes in the result counts successful ones only; the trace
+		// has every step. The trace can only have more.
+		if len(tr.Probes) < res.Probes {
+			t.Errorf("trace has %d probe steps, result reports %d", len(tr.Probes), res.Probes)
+		}
+	}
+	for i, p := range tr.Probes {
+		if p.DB == "" {
+			t.Errorf("probe %d has no database name", i)
+		}
+		if p.CertaintyAfter < 0 || p.CertaintyAfter > 1 {
+			t.Errorf("probe %d certainty-after %v outside [0,1]", i, p.CertaintyAfter)
+		}
+	}
+	// The trajectory starts at the RD-based certainty and ends at the
+	// final one.
+	if len(tr.Probes) > 0 {
+		last := tr.Probes[len(tr.Probes)-1]
+		if last.CertaintyAfter != tr.Certainty {
+			t.Errorf("trajectory end %v ≠ final certainty %v", last.CertaintyAfter, tr.Certainty)
+		}
+	} else if tr.InitialCertainty != tr.Certainty {
+		t.Errorf("no probes but initial %v ≠ final %v", tr.InitialCertainty, tr.Certainty)
+	}
+}
+
+func TestPlainSelectTraced(t *testing.T) {
+	ms, queries, reg, tracer := buildObservedMetasearcher(t)
+	if _, _, err := ms.Select(queries[0], 1, Absolute); err != nil {
+		t.Fatal(err)
+	}
+	traces := tracer.Last(0)
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	if tr := traces[0]; tr.Threshold != 0 || len(tr.Probes) != 0 || tr.InitialCertainty != tr.Certainty {
+		t.Errorf("plain Select trace = %+v", tr)
+	}
+	if got := reg.Histogram("metaprobe_select_latency_seconds", nil).Count(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+}
+
+func TestNilObservabilityUnaffected(t *testing.T) {
+	// The default config must behave exactly as before: no metrics, no
+	// traces, identical results.
+	ms, queries := buildTestMetasearcher(t)
+	res, err := ms.SelectWithCertainty(queries[0], 2, Absolute, 0.9, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Databases) != 2 {
+		t.Errorf("selected %v", res.Databases)
+	}
+}
+
+func TestMetasearchEmitsTrace(t *testing.T) {
+	ms, queries, _, tracer := buildObservedMetasearcher(t)
+	if _, _, err := ms.Metasearch(queries[0], 2, Partial, 0.9, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tracer.Last(0)); n != 1 {
+		t.Errorf("Metasearch recorded %d traces, want 1", n)
+	}
+}
