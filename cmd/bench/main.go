@@ -1,0 +1,343 @@
+// Command bench is the continuous benchmark harness of metaprobe: it
+// runs standardized selection workloads over the corpus presets and
+// writes a machine-readable BENCH_<label>.json so the repository keeps
+// a performance *and* accuracy trajectory across changes — selection
+// latency percentiles (from the shared obs histogram, the same
+// estimator /metrics exposes), probes per query, achieved correctness
+// against a freshly built golden standard, and a calibration summary
+// of the reported certainty.
+//
+// Usage:
+//
+//	go run ./cmd/bench -label nightly [-out results] [-preset health|newsgroup|all]
+//	    [-scale 0.02] [-queries 200] [-k 3] [-t 0.9] [-seed 2004]
+//	go run ./cmd/bench -smoke -label ci    # CI-sized run, health preset only
+//
+// Each preset runs the three selection tiers over one workload:
+// baseline (term-independence top-k), rd (probabilistic, no probing)
+// and apro (adaptive probing to the certainty threshold).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/eval"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+)
+
+// benchConfig parameterizes one harness run.
+type benchConfig struct {
+	label   string
+	outDir  string
+	preset  string
+	smoke   bool
+	scale   float64
+	seed    int64
+	trainN  int
+	queries int
+	k       int
+	t       float64
+}
+
+// latencySummary reports selection latency in milliseconds.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+}
+
+// workloadResult is one (preset, tier) measurement.
+type workloadResult struct {
+	Preset         string                   `json:"preset"`
+	Name           string                   `json:"name"`
+	Queries        int                      `json:"queries"`
+	LatencyMs      latencySummary           `json:"latency_ms"`
+	ProbesPerQuery float64                  `json:"probes_per_query"`
+	AvgCorA        float64                  `json:"avg_cor_a"`
+	AvgCorP        float64                  `json:"avg_cor_p"`
+	ReachedFrac    float64                  `json:"reached_frac"`
+	Calibration    *obs.CalibrationSnapshot `json:"calibration,omitempty"`
+}
+
+// benchReport is the BENCH_<label>.json document.
+type benchReport struct {
+	Label     string           `json:"label"`
+	Time      time.Time        `json:"time"`
+	Smoke     bool             `json:"smoke"`
+	GoVersion string           `json:"go_version"`
+	Config    benchConfigJSON  `json:"config"`
+	Workloads []workloadResult `json:"workloads"`
+}
+
+// benchConfigJSON is the serialized slice of benchConfig.
+type benchConfigJSON struct {
+	Preset  string  `json:"preset"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	TrainN  int     `json:"train_per_type"`
+	Queries int     `json:"queries"`
+	K       int     `json:"k"`
+	T       float64 `json:"t"`
+}
+
+func main() {
+	cfg := benchConfig{}
+	flag.StringVar(&cfg.label, "label", "local", "run label; output file is BENCH_<label>.json")
+	flag.StringVar(&cfg.outDir, "out", ".", "output directory")
+	flag.StringVar(&cfg.preset, "preset", "health", "corpus preset: health, newsgroup or all")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "CI-sized run: tiny corpus, short workload, health preset only")
+	flag.Float64Var(&cfg.scale, "scale", 0.02, "testbed size multiplier")
+	flag.Int64Var(&cfg.seed, "seed", 2004, "random seed")
+	flag.IntVar(&cfg.trainN, "train", 300, "training queries per term count")
+	flag.IntVar(&cfg.queries, "queries", 200, "workload queries (split between 2- and 3-term)")
+	flag.IntVar(&cfg.k, "k", 3, "databases to select")
+	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold for the apro tier")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	path, err := runBench(cfg, log)
+	if err != nil {
+		log.Error("bench failed", "err", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}
+
+// runBench executes the configured workloads and writes the report,
+// returning the report path.
+func runBench(cfg benchConfig, log *slog.Logger) (string, error) {
+	if cfg.smoke {
+		// Small enough for a CI job, large enough that correctness and
+		// calibration numbers are non-degenerate.
+		cfg.preset = "health"
+		cfg.scale = 0.006
+		cfg.trainN = 80
+		cfg.queries = 40
+	}
+	presets := []string{cfg.preset}
+	if cfg.preset == "all" {
+		presets = []string{"health", "newsgroup"}
+	}
+	rep := benchReport{
+		Label:     cfg.label,
+		Time:      time.Now().UTC(),
+		Smoke:     cfg.smoke,
+		GoVersion: runtime.Version(),
+		Config: benchConfigJSON{
+			Preset: cfg.preset, Scale: cfg.scale, Seed: cfg.seed,
+			TrainN: cfg.trainN, Queries: cfg.queries, K: cfg.k, T: cfg.t,
+		},
+	}
+	for _, preset := range presets {
+		results, err := runPreset(preset, cfg, log)
+		if err != nil {
+			return "", fmt.Errorf("bench: preset %s: %w", preset, err)
+		}
+		rep.Workloads = append(rep.Workloads, results...)
+	}
+	path := filepath.Join(cfg.outDir, "BENCH_"+cfg.label+".json")
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	log.Info("report written", "path", path, "workloads", len(rep.Workloads))
+	return path, nil
+}
+
+// presetEnv is a built-and-trained benchmark environment.
+type presetEnv struct {
+	ms       *metaprobe.Metasearcher
+	tb       *hidden.Testbed
+	workload []queries.Query
+	golden   []eval.Golden
+}
+
+// buildPreset assembles the named corpus preset: testbed, summaries,
+// trained metasearcher, workload queries and their golden standard.
+func buildPreset(preset string, cfg benchConfig, log *slog.Logger) (*presetEnv, error) {
+	var world *corpus.World
+	var specs []corpus.DatabaseSpec
+	switch preset {
+	case "health":
+		world = corpus.HealthWorld()
+		specs = corpus.HealthTestbed(cfg.scale)
+	case "newsgroup":
+		world = corpus.NewsgroupWorld(cfg.seed)
+		specs = corpus.NewsgroupTestbed(world, cfg.scale)
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want health, newsgroup or all)", preset)
+	}
+	log.Info("building testbed", "preset", preset, "databases", len(specs), "scale", cfg.scale)
+	tb, err := hidden.BuildTestbed(world, specs, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	dbs := make([]metaprobe.Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(dbs)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := gen.TrainTest(stats.NewRNG(cfg.seed).Fork(1),
+		cfg.trainN, cfg.trainN, (cfg.queries+1)/2, cfg.queries/2)
+	if err != nil {
+		return nil, err
+	}
+	trainStrs := make([]string, len(train))
+	for i, q := range train {
+		trainStrs[i] = q.String()
+	}
+	log.Info("training", "preset", preset, "queries", len(trainStrs))
+	if err := ms.Train(trainStrs); err != nil {
+		return nil, err
+	}
+	log.Info("building golden standard", "preset", preset, "queries", len(test))
+	golden, err := eval.BuildGolden(tb, metaprobe.DocFrequencyRelevancy(), test)
+	if err != nil {
+		return nil, err
+	}
+	return &presetEnv{ms: ms, tb: tb, workload: test, golden: golden}, nil
+}
+
+// answer is one workload query's outcome, scored later against golden.
+type answer struct {
+	set       []int
+	certainty float64
+	probes    int
+	reached   bool
+}
+
+// runPreset measures the three selection tiers on one preset.
+func runPreset(preset string, cfg benchConfig, log *slog.Logger) ([]workloadResult, error) {
+	env, err := buildPreset(preset, cfg, log)
+	if err != nil {
+		return nil, err
+	}
+	tiers := []struct {
+		name       string
+		calibrated bool
+		probing    bool
+		run        func(q string) (answer, error)
+	}{
+		{"baseline", false, false, func(q string) (answer, error) {
+			names := env.ms.SelectBaseline(q, cfg.k)
+			return answer{set: env.indices(names), reached: true}, nil
+		}},
+		{"rd", true, false, func(q string) (answer, error) {
+			names, e, err := env.ms.Select(q, cfg.k, metaprobe.Absolute)
+			if err != nil {
+				return answer{}, err
+			}
+			return answer{set: env.indices(names), certainty: e, reached: true}, nil
+		}},
+		{"apro", true, true, func(q string) (answer, error) {
+			res, err := env.ms.SelectWithCertainty(q, cfg.k, metaprobe.Absolute, cfg.t, -1)
+			if err != nil {
+				return answer{}, err
+			}
+			return answer{set: env.indices(res.Databases), certainty: res.Certainty,
+				probes: res.Probes, reached: res.Reached}, nil
+		}},
+	}
+	var out []workloadResult
+	for _, tier := range tiers {
+		log.Info("running workload", "preset", preset, "tier", tier.name, "queries", len(env.workload))
+		res, err := env.measure(preset, tier.name, tier.calibrated, cfg, tier.run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// indices maps database names back to testbed indices (sorted).
+func (e *presetEnv) indices(names []string) []int {
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		if i := e.tb.IndexOf(n); i >= 0 {
+			out = append(out, i)
+		}
+	}
+	// Selection results come back in testbed order already; keep the
+	// contract explicit for CorA's sorted-set comparison.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// measure replays the workload through one tier, collecting latency
+// quantiles (shared obs histogram), probe counts, correctness against
+// the golden standard, and — for certainty-reporting tiers — the
+// calibration of the reported certainty.
+func (e *presetEnv) measure(preset, name string, calibrated bool, cfg benchConfig, run func(q string) (answer, error)) (workloadResult, error) {
+	hist := obs.NewHistogram()
+	cal := obs.NewCalibration(0)
+	res := workloadResult{Preset: preset, Name: name, Queries: len(e.workload)}
+	var probes, corA, corP, reached float64
+	for qi, q := range e.workload {
+		start := time.Now()
+		a, err := run(q.String())
+		if err != nil {
+			return workloadResult{}, err
+		}
+		hist.Observe(time.Since(start).Seconds())
+		topk := e.golden[qi].TopK(cfg.k)
+		ca, cp := eval.CorA(a.set, topk), eval.CorP(a.set, topk)
+		corA += ca
+		corP += cp
+		probes += float64(a.probes)
+		if a.reached {
+			reached++
+		}
+		if calibrated {
+			cal.Observe(a.certainty, ca)
+		}
+	}
+	n := float64(len(e.workload))
+	qs := hist.Quantiles(0.50, 0.90, 0.99)
+	res.LatencyMs = latencySummary{
+		P50:  qs[0] * 1000,
+		P90:  qs[1] * 1000,
+		P99:  qs[2] * 1000,
+		Mean: hist.Sum() / n * 1000,
+	}
+	res.ProbesPerQuery = probes / n
+	res.AvgCorA = corA / n
+	res.AvgCorP = corP / n
+	res.ReachedFrac = reached / n
+	if calibrated {
+		snap := cal.Snapshot()
+		res.Calibration = &snap
+	}
+	return res, nil
+}

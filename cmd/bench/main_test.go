@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSmokeRun exercises the full harness in -smoke mode — the exact
+// configuration CI runs — and validates the report it writes.
+func TestSmokeRun(t *testing.T) {
+	dir := t.TempDir()
+	cfg := benchConfig{label: "smoketest", outDir: dir, smoke: true, seed: 2004, k: 3, t: 0.9}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	path, err := runBench(cfg, log)
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	if want := filepath.Join(dir, "BENCH_smoketest.json"); path != want {
+		t.Fatalf("report path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Label != "smoketest" || !rep.Smoke {
+		t.Errorf("report header = label %q smoke %v, want smoketest/true", rep.Label, rep.Smoke)
+	}
+	if len(rep.Workloads) != 3 {
+		t.Fatalf("got %d workloads, want 3 (baseline, rd, apro)", len(rep.Workloads))
+	}
+	names := map[string]workloadResult{}
+	for _, w := range rep.Workloads {
+		names[w.Name] = w
+		if w.Preset != "health" {
+			t.Errorf("workload %s preset = %q, want health (smoke forces health)", w.Name, w.Preset)
+		}
+		if w.Queries <= 0 {
+			t.Errorf("workload %s ran %d queries", w.Name, w.Queries)
+		}
+		if w.LatencyMs.P50 <= 0 || w.LatencyMs.P99 < w.LatencyMs.P50 {
+			t.Errorf("workload %s latency p50=%v p99=%v is not sane", w.Name, w.LatencyMs.P50, w.LatencyMs.P99)
+		}
+		if w.AvgCorA < 0 || w.AvgCorA > 1 || w.AvgCorP < 0 || w.AvgCorP > 1 {
+			t.Errorf("workload %s correctness out of [0,1]: CorA=%v CorP=%v", w.Name, w.AvgCorA, w.AvgCorP)
+		}
+	}
+	for _, want := range []string{"baseline", "rd", "apro"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("missing workload %q", want)
+		}
+	}
+	if names["baseline"].Calibration != nil {
+		t.Error("baseline tier should not report calibration (it has no certainty)")
+	}
+	for _, tier := range []string{"rd", "apro"} {
+		c := names[tier].Calibration
+		if c == nil {
+			t.Fatalf("%s tier missing calibration summary", tier)
+		}
+		if c.Samples != int64(names[tier].Queries) {
+			t.Errorf("%s calibration samples = %d, want %d", tier, c.Samples, names[tier].Queries)
+		}
+	}
+	if names["apro"].ProbesPerQuery <= 0 {
+		t.Error("apro tier recorded no probes; adaptive probing did not run")
+	}
+	if names["baseline"].ProbesPerQuery != 0 || names["rd"].ProbesPerQuery != 0 {
+		t.Error("non-probing tiers recorded probes")
+	}
+	// Probing should not hurt: apro's absolute correctness must be at
+	// least rd's on the same fixed-seed workload.
+	if names["apro"].AvgCorA < names["rd"].AvgCorA {
+		t.Errorf("apro CorA %v < rd CorA %v on the same workload", names["apro"].AvgCorA, names["rd"].AvgCorA)
+	}
+}
+
+// TestUnknownPreset checks the error path for a bad -preset value.
+func TestUnknownPreset(t *testing.T) {
+	cfg := benchConfig{label: "x", outDir: t.TempDir(), preset: "nope", scale: 0.01, queries: 2, trainN: 2, k: 2, t: 0.5, seed: 1}
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if _, err := runBench(cfg, log); err == nil {
+		t.Fatal("runBench accepted unknown preset")
+	}
+}

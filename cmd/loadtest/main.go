@@ -1,19 +1,21 @@
 // Command loadtest replays a query workload against a trained
 // metasearcher and reports end-to-end latency percentiles, probe
-// counts, and throughput. Per-probe network latency is injected so the
+// counts, throughput, and — by scoring every selection against a
+// freshly built golden standard — the calibration of the certainty
+// the selections report. Per-probe network latency is injected so the
 // trade-off the paper's Section 5.2 worries about — every probe is a
 // remote round trip — shows up in wall-clock numbers.
 //
 // Usage:
 //
 //	go run ./cmd/loadtest [-queries 400] [-concurrency 4]
-//	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02]
+//	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -21,7 +23,9 @@ import (
 
 	"metaprobe"
 	"metaprobe/internal/corpus"
+	"metaprobe/internal/eval"
 	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 )
@@ -46,6 +50,12 @@ type loadReport struct {
 	p99         time.Duration
 	avgProbes   float64
 	reachedFrac float64
+	// avgCorA is the mean absolute correctness of the selections
+	// against the golden standard.
+	avgCorA float64
+	// calibration summarizes how well the reported certainty predicted
+	// the realized correctness.
+	calibration obs.CalibrationSnapshot
 	// metrics is the final Prometheus-format snapshot of the registry
 	// every database wrapper and selection call recorded into.
 	metrics string
@@ -61,20 +71,27 @@ func main() {
 	flag.DurationVar(&cfg.latency, "latency", 5*time.Millisecond, "injected per-probe latency")
 	flag.IntVar(&cfg.k, "k", 3, "databases to select")
 	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold")
+	verbose := flag.Bool("v", false, "log every selection (with its correlation ID) at debug level")
 	flag.Parse()
 
-	rep, err := runLoadTest(cfg, log.Printf)
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	rep, err := runLoadTest(cfg, logger)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error(err.Error())
+		os.Exit(1)
 	}
 	printReport(os.Stdout, cfg, rep)
 }
 
 // runLoadTest builds the testbed, trains, and replays the workload.
-// progress receives human-oriented status lines (pass a no-op for
-// tests).
-func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loadReport, error) {
-	progress("building the testbed (scale %g) with %v per-probe latency...", cfg.scale, cfg.latency)
+// Progress goes to log; per-selection debug lines carry the same
+// correlation ID as the selection's trace.
+func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
+	log.Info("building the testbed", "scale", cfg.scale, "probe_latency", cfg.latency)
 	world := corpus.HealthWorld()
 	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(cfg.scale), cfg.seed)
 	if err != nil {
@@ -112,7 +129,7 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	for i, q := range trainPool {
 		train[i] = q.String()
 	}
-	progress("training on %d queries...", len(train))
+	log.Info("training", "queries", len(train))
 	if err := ms.Train(train); err != nil {
 		return loadReport{}, err
 	}
@@ -121,13 +138,25 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	if err != nil {
 		return loadReport{}, err
 	}
+	// The golden standard (true top-k per workload query, from the raw
+	// databases) turns each selection's certainty into a testable
+	// prediction: realized correctness feeds the calibration
+	// accumulator, exported as the mp_calibration_* series.
+	log.Info("building the golden standard", "queries", len(workload))
+	golden, err := eval.BuildGolden(tb, metaprobe.DocFrequencyRelevancy(), workload)
+	if err != nil {
+		return loadReport{}, err
+	}
+	cal := metaprobe.NewCalibration(0)
+	cal.Bind(reg)
 
-	progress("replaying %d queries with concurrency %d...", len(workload), cfg.concurrency)
+	log.Info("replaying workload", "queries", len(workload), "concurrency", cfg.concurrency)
 	latencyHist := reg.Histogram("loadtest_query_latency_seconds", nil)
 	reg.Help("loadtest_query_latency_seconds", "End-to-end latency of one workload query.")
 	type sample struct {
 		probes  int
 		reached bool
+		corA    float64
 	}
 	samples := make([]sample, len(workload))
 	jobs := make(chan int)
@@ -151,7 +180,19 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 					continue
 				}
 				latencyHist.Observe(time.Since(qStart).Seconds())
-				samples[qi] = sample{probes: res.Probes, reached: res.Reached}
+				topk := golden[qi].TopK(cfg.k)
+				set := make([]int, 0, len(res.Databases))
+				for _, name := range res.Databases {
+					if di := tb.IndexOf(name); di >= 0 {
+						set = append(set, di)
+					}
+				}
+				corA := eval.CorA(set, topk)
+				cal.Observe(res.Certainty, corA)
+				log.Debug("selection",
+					"selection", res.ID, "query", workload[qi].String(),
+					"certainty", res.Certainty, "probes", res.Probes, "cor_a", corA)
+				samples[qi] = sample{probes: res.Probes, reached: res.Reached, corA: corA}
 			}
 		}()
 	}
@@ -165,9 +206,10 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 	}
 	wall := time.Since(start)
 
-	var probes, reached float64
+	var probes, reached, corA float64
 	for _, s := range samples {
 		probes += float64(s.probes)
+		corA += s.corA
 		if s.reached {
 			reached++
 		}
@@ -188,6 +230,8 @@ func runLoadTest(cfg loadConfig, progress func(format string, args ...any)) (loa
 		p99:         time.Duration(qs[2] * float64(time.Second)),
 		avgProbes:   probes / float64(len(workload)),
 		reachedFrac: reached / float64(len(workload)),
+		avgCorA:     corA / float64(len(workload)),
+		calibration: cal.Snapshot(),
 		metrics:     snapshot.String(),
 	}, nil
 }
@@ -203,6 +247,9 @@ func printReport(w *os.File, cfg loadConfig, rep loadReport) {
 	fmt.Fprintf(w, "latency p99      %v\n", rep.p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "avg probes       %.2f\n", rep.avgProbes)
 	fmt.Fprintf(w, "reached target   %.1f%%\n", rep.reachedFrac*100)
+	fmt.Fprintf(w, "avg Cor_a        %.3f\n", rep.avgCorA)
+	fmt.Fprintf(w, "calibration      Brier %.3f, ECE %.3f, gap %+.3f over %d selections\n",
+		rep.calibration.Brier, rep.calibration.ECE, rep.calibration.Gap, rep.calibration.Samples)
 	if rep.metrics != "" {
 		fmt.Fprintf(w, "\n--- metrics snapshot (Prometheus text format) ---\n%s", rep.metrics)
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"log/slog"
 	"strings"
 	"testing"
 	"time"
@@ -17,8 +19,7 @@ func TestRunLoadTest(t *testing.T) {
 		k:           1,
 		t:           0.8,
 	}
-	noop := func(string, ...any) {}
-	rep, err := runLoadTest(cfg, noop)
+	rep, err := runLoadTest(cfg, slog.New(slog.NewTextHandler(io.Discard, nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,10 +42,18 @@ func TestRunLoadTest(t *testing.T) {
 	}
 	// The run carries a metrics snapshot with the shared histogram the
 	// percentiles came from plus the per-database instrumentation.
+	if rep.avgCorA < 0 || rep.avgCorA > 1 {
+		t.Errorf("avg CorA %v out of range", rep.avgCorA)
+	}
+	if rep.calibration.Samples != int64(rep.queries) {
+		t.Errorf("calibration samples = %d, want one per query (%d)", rep.calibration.Samples, rep.queries)
+	}
 	for _, want := range []string{
 		"loadtest_query_latency_seconds_count 30",
 		"metaprobe_db_search_latency_seconds",
 		"metaprobe_selections_total",
+		"mp_calibration_samples_total 30",
+		"mp_calibration_brier_score",
 	} {
 		if !strings.Contains(rep.metrics, want) {
 			t.Errorf("metrics snapshot missing %q", want)

@@ -21,7 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -33,8 +33,19 @@ import (
 	"metaprobe/internal/stats"
 )
 
+// logger is the process-wide structured logger. Human-facing report
+// tables still print with fmt; everything operational goes through
+// slog so log lines carry machine-readable fields (notably the
+// per-selection correlation ID also present in SelectionTrace.ID).
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// fatal logs err and exits non-zero.
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
 	if len(os.Args) < 2 {
 		usage()
 	}
@@ -66,18 +77,18 @@ func serve(args []string) {
 	seed := fs.Int64("seed", 2004, "random seed")
 	fs.Parse(args)
 
-	log.Printf("generating the 20-database health testbed (scale %g)...", *scale)
+	logger.Info("generating the 20-database health testbed", "scale", *scale)
 	world := corpus.HealthWorld()
 	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(*scale), *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for _, db := range tb.Databases() {
 		local := db.(*hidden.Local)
-		log.Printf("  %-18s %6d docs  → /db/%s/search", db.Name(), local.Size(), db.Name())
+		logger.Info("database ready", "db", db.Name(), "docs", local.Size(), "path", "/db/"+db.Name()+"/search")
 	}
-	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, hidden.ServeTestbed(tb)))
+	logger.Info("serving", "addr", *addr)
+	fatal(http.ListenAndServe(*addr, hidden.ServeTestbed(tb)))
 }
 
 // remoteQuery drives selection against a running `metaprobe serve`.
@@ -91,7 +102,7 @@ func remoteQuery(args []string) {
 	html := fs.Bool("html", true, "scrape HTML answer pages (false: JSON)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
-		log.Fatal("query: need query terms")
+		fatal(fmt.Errorf("query: need query terms"))
 	}
 	query := strings.Join(fs.Args(), " ")
 
@@ -102,33 +113,33 @@ func remoteQuery(args []string) {
 		dbs = append(dbs, metaprobe.NewHTTPDatabase(spec.Name,
 			strings.TrimRight(*base, "/")+"/db/"+spec.Name, *html))
 	}
-	log.Printf("sampling summaries from %d remote databases...", len(dbs))
+	logger.Info("sampling summaries", "databases", len(dbs))
 	sums, err := metaprobe.SampleSummaries(dbs,
 		[]string{"cancer", "heart", "health", "drug", "child", "report", "diet"},
 		*sampleN, 1)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	ms, err := metaprobe.New(dbs, sums, nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
-	log.Printf("training the error model (%d queries)...", 2**trainN)
+	logger.Info("training the error model", "queries", 2**trainN)
 	gen, err := queries.NewGenerator(corpus.HealthWorld(), queries.Config{})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	pool, err := gen.Pool(stats.NewRNG(1), *trainN, *trainN)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	train := make([]string, len(pool))
 	for i, q := range pool {
 		train[i] = q.String()
 	}
 	if err := ms.Train(train); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	report(ms, query, *k, *t)
 }
@@ -149,11 +160,11 @@ func demo(args []string) {
 		query = strings.Join(fs.Args(), " ")
 	}
 
-	log.Printf("building the health testbed (scale %g)...", *scale)
+	logger.Info("building the health testbed", "scale", *scale)
 	world := corpus.HealthWorld()
 	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(*scale), *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
@@ -163,10 +174,10 @@ func demo(args []string) {
 	// A persisted model skips both summary building and training.
 	if *modelPath != "" {
 		if _, statErr := os.Stat(*modelPath); statErr == nil {
-			log.Printf("loading model from %s...", *modelPath)
+			logger.Info("loading model", "path", *modelPath)
 			ms, err := metaprobe.NewFromModel(dbs, *modelPath, nil)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			report(ms, query, *k, *t)
 			return
@@ -175,17 +186,17 @@ func demo(args []string) {
 
 	sums, err := metaprobe.ExactSummaries(dbs)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	ms, err := metaprobe.New(dbs, sums, nil)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var train []string
 	if *trainLog != "" {
 		qs, err := queries.LoadLog(*trainLog)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, q := range qs {
 			train = append(train, q.String())
@@ -193,25 +204,25 @@ func demo(args []string) {
 	} else {
 		gen, err := queries.NewGenerator(world, queries.Config{})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		pool, err := gen.Pool(stats.NewRNG(*seed).Fork(1), *trainN, *trainN)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, q := range pool {
 			train = append(train, q.String())
 		}
 	}
-	log.Printf("training on %d queries...", len(train))
+	logger.Info("training", "queries", len(train))
 	if err := ms.Train(train); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *modelPath != "" {
 		if err := ms.SaveModel(*modelPath); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("saved model to %s", *modelPath)
+		logger.Info("saved model", "path", *modelPath)
 	}
 	report(ms, query, *k, *t)
 }
@@ -222,7 +233,7 @@ func report(ms *metaprobe.Metasearcher, query string, k int, t float64) {
 
 	expl, err := ms.Explain(query, k)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("%-18s %10s %12s %10s %14s\n", "database", "estimate", "E[relevancy]", "P(top-k)", "query type")
 	for _, e := range expl {
@@ -236,18 +247,18 @@ func report(ms *metaprobe.Metasearcher, query string, k int, t float64) {
 	fmt.Printf("baseline:  %v\n", ms.SelectBaseline(query, k))
 	set, e, err := ms.Select(query, k, metaprobe.Absolute)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("RD-based:  %v (certainty %.3f)\n", set, e)
 	res, err := ms.SelectWithCertainty(query, k, metaprobe.Absolute, t, -1)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("APro:      %v (certainty %.3f, %d probes)\n\n", res.Databases, res.Certainty, res.Probes)
 
 	items, _, err := ms.Metasearch(query, k, metaprobe.Partial, t, 10)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("fused results:")
 	for i, it := range items {

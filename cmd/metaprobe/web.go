@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"html/template"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -21,8 +20,8 @@ import (
 // form, the fused results with snippets, the selection diagnostics
 // (which databases were chosen, at what certainty, with how many
 // probes), plus the operational endpoints /metrics (Prometheus text
-// format), /debug/trace (recent selection traces as JSON) and
-// /debug/pprof.
+// format), /debug/trace and /debug/calibration (JSON), /debug/pprof,
+// and the /healthz + /readyz probes.
 func web(args []string) {
 	fs := flag.NewFlagSet("web", flag.ExitOnError)
 	addr := fs.String("addr", ":8090", "listen address")
@@ -31,22 +30,26 @@ func web(args []string) {
 	seed := fs.Int64("seed", 2004, "random seed")
 	fs.Parse(args)
 
-	log.Printf("building and training the metasearcher (scale %g)...", *scale)
+	logger.Info("building and training the metasearcher", "scale", *scale)
 	ms, env, err := buildDemoMetasearcher(*scale, *seed, *trainN)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("serving the metasearch UI on %s (also /metrics, /debug/trace, /debug/pprof)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
+	logger.Info("serving the metasearch UI",
+		"addr", *addr,
+		"endpoints", "/metrics /debug/trace /debug/calibration /debug/pprof /healthz /readyz")
+	fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
 }
 
 // webEnv bundles the observability state behind the demo server: the
-// metrics registry and trace ring the metasearcher writes into, and
+// metrics registry and trace ring the metasearcher writes into, the
+// certainty-calibration accumulator fed by post-selection audits, and
 // direct handles on the per-database result caches for the
 // diagnostics panel.
 type webEnv struct {
 	reg    *metaprobe.Metrics
 	tracer *metaprobe.RingTracer
+	cal    *metaprobe.Calibration
 	caches []webCache
 }
 
@@ -60,7 +63,9 @@ type webCache struct {
 // UI. Each database is wrapped with a result cache and metric
 // instrumentation; summaries are computed from the raw databases, but
 // training traffic flows through the wrappers, so the metrics start
-// with the training workload already recorded.
+// with the training workload already recorded. Drift detection runs
+// with default settings — every UI-triggered probe doubles as a drift
+// sample.
 func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Metasearcher, *webEnv, error) {
 	world := corpus.HealthWorld()
 	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(scale), seed)
@@ -75,14 +80,29 @@ func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Me
 	if err != nil {
 		return nil, nil, err
 	}
-	env := &webEnv{reg: metaprobe.NewMetrics(), tracer: metaprobe.NewRingTracer(256)}
+	env := &webEnv{
+		reg:    metaprobe.NewMetrics(),
+		tracer: metaprobe.NewRingTracer(256),
+		cal:    metaprobe.NewCalibration(0),
+	}
+	env.tracer.Bind(env.reg)
+	env.cal.Bind(env.reg)
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
 		cached := hidden.NewCached(tb.DB(i), 512)
 		env.caches = append(env.caches, webCache{name: tb.DB(i).Name(), cache: cached})
 		dbs[i] = metaprobe.InstrumentDatabase(cached, env.reg)
 	}
-	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{Metrics: env.reg, Tracer: env.tracer})
+	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{
+		Metrics: env.reg,
+		Tracer:  env.tracer,
+		Drift:   &metaprobe.DriftConfig{},
+		OnDrift: func(a metaprobe.DriftAlert) {
+			logger.Warn("error-distribution drift detected",
+				"db", a.DB, "type", a.QueryType,
+				"statistic", a.Statistic, "pvalue", a.PValue, "samples", a.Samples)
+		},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -110,6 +130,9 @@ func newWebMux(ms *metaprobe.Metasearcher, env *webEnv) *http.ServeMux {
 	mux.Handle("/", NewWebUI(ms, env))
 	mux.Handle("/metrics", obs.MetricsHandler(env.reg))
 	mux.Handle("/debug/trace", obs.TraceHandler(env.tracer))
+	mux.Handle("/debug/calibration", obs.CalibrationHandler(env.cal))
+	mux.Handle("/healthz", obs.HealthzHandler())
+	mux.Handle("/readyz", obs.ReadyzHandler(ms.Trained))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,17 +164,20 @@ type cacheRow struct {
 
 // webData feeds the page template.
 type webData struct {
-	Query     string
-	K         int
-	T         float64
-	Ran       bool
-	Elapsed   string
-	Selection *metaprobe.SelectionResult
-	Items     []metaprobe.MergedResult
-	Explain   []metaprobe.Explanation
-	Error     string
-	Databases []string
-	Caches    []cacheRow
+	Query       string
+	K           int
+	T           float64
+	Ran         bool
+	Elapsed     string
+	Selection   *metaprobe.SelectionResult
+	Realized    float64
+	Audited     bool
+	Items       []metaprobe.MergedResult
+	Explain     []metaprobe.Explanation
+	Error       string
+	Databases   []string
+	Caches      []cacheRow
+	Calibration *metaprobe.CalibrationSnapshot
 }
 
 // ServeHTTP implements http.Handler.
@@ -175,9 +201,25 @@ func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		items, sel, err := u.ms.Metasearch(q, data.K, metaprobe.Partial, data.T, 10)
 		if err != nil {
 			data.Error = err.Error()
+			logger.Error("metasearch failed", "query", q, "err", err)
 		} else {
 			data.Items = items
 			data.Selection = sel
+			logger.Info("metasearch",
+				"selection", sel.ID, "query", q, "k", data.K,
+				"certainty", sel.Certainty, "probes", sel.Probes, "results", len(items))
+			// The audit live-probes every database for the realized
+			// correctness of this selection — the ground truth the
+			// certainty claims to predict. The result caches make the
+			// extra probes cheap.
+			if u.env != nil && u.env.cal != nil {
+				if realized, err := u.ms.Audit(u.env.cal, q, metaprobe.Partial, sel.Databases, sel.Certainty); err == nil {
+					data.Realized = realized
+					data.Audited = true
+				} else {
+					logger.Error("calibration audit failed", "selection", sel.ID, "query", q, "err", err)
+				}
+			}
 			if expl, err := u.ms.Explain(q, data.K); err == nil {
 				// Show only databases with some signal, most likely first.
 				for _, e := range expl {
@@ -189,10 +231,14 @@ func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		data.Elapsed = time.Since(start).Round(time.Millisecond).String()
 		data.Caches = u.cacheRows()
+		if u.env != nil && u.env.cal != nil {
+			snap := u.env.cal.Snapshot()
+			data.Calibration = &snap
+		}
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := u.tpl.Execute(w, data); err != nil {
-		log.Printf("web: rendering: %v", err)
+		logger.Error("rendering page failed", "err", err)
 	}
 }
 
@@ -240,7 +286,8 @@ certainty=<input type="number" name="t" value="{{.T}}" min="0" max="1" step="0.0
 {{if .Ran}}{{if .Selection}}
 <p class="meta">selected <b>{{range $i, $d := .Selection.Databases}}{{if $i}}, {{end}}{{$d}}{{end}}</b>
 with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}} probes
-({{.Elapsed}}{{if not .Selection.Reached}}; requested certainty not reachable{{end}})</p>
+({{.Elapsed}}{{if not .Selection.Reached}}; requested certainty not reachable{{end}})
+{{if .Audited}}· audited correctness {{printf "%.3f" .Realized}}{{end}}</p>
 {{range .Items}}
 <div class="result">
 <div><b>{{.Doc.ID}}</b> <span class="db">{{.Database}} · score {{printf "%.3f" .Score}}</span></div>
@@ -255,6 +302,17 @@ with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}
 <td>{{.QueryType}}</td></tr>{{end}}
 </table>
 {{end}}
+{{if .Calibration}}{{if .Calibration.Samples}}
+<h3>Certainty calibration</h3>
+<p class="meta">{{.Calibration.Samples}} audited selections · Brier {{printf "%.3f" .Calibration.Brier}}
+· ECE {{printf "%.3f" .Calibration.ECE}} · mean gap {{printf "%+.3f" .Calibration.Gap}}
+(observed − predicted; details at <a href="/debug/calibration">/debug/calibration</a>)</p>
+<table><tr><th>certainty bin</th><th>selections</th><th>mean predicted</th><th>mean observed</th><th>gap</th></tr>
+{{range .Calibration.Bins}}{{if .Count}}<tr><td>{{printf "%.1f–%.1f" .Lo .Hi}}</td><td>{{.Count}}</td>
+<td>{{printf "%.3f" .MeanPredicted}}</td><td>{{printf "%.3f" .MeanObserved}}</td>
+<td>{{printf "%+.3f" .Gap}}</td></tr>{{end}}{{end}}
+</table>
+{{end}}{{end}}
 {{if .Caches}}
 <h3>Result caches</h3>
 <table><tr><th>database</th><th>hits</th><th>misses</th><th>hit rate</th></tr>

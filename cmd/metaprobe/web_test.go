@@ -58,9 +58,21 @@ func TestWebUIEndToEnd(t *testing.T) {
 		}
 	}
 
-	// A query renders results, selection metadata and diagnostics.
+	// Liveness and readiness probes answer immediately; the searcher is
+	// trained, so /readyz reports ready.
+	if body := get(srv.URL + "/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	if body := get(srv.URL + "/readyz"); !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %q, want ready", body)
+	}
+
+	// A query renders results, selection metadata and diagnostics —
+	// including the audited correctness and the calibration panel fed
+	// by the post-selection audit.
 	page := get(srv.URL + "/?q=breast+cancer&k=2&t=0.8")
-	for _, want := range []string{"selected <b>", "certainty", "probes", "Why these databases?", "Result caches", "hit rate"} {
+	for _, want := range []string{"selected <b>", "certainty", "probes", "Why these databases?",
+		"Result caches", "hit rate", "audited correctness", "Certainty calibration", "Brier"} {
 		if !strings.Contains(page, want) {
 			t.Errorf("result page missing %q", want)
 		}
@@ -87,6 +99,10 @@ func TestWebUIEndToEnd(t *testing.T) {
 		`metaprobe_db_search_latency_seconds{db="`,
 		"metaprobe_db_cache_misses_total{db=",
 		"metaprobe_selections_total{reached=",
+		"metaprobe_traces_recorded_total",
+		"mp_calibration_samples_total",
+		"mp_calibration_brier_score",
+		"mp_ed_drift_tests_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q after queries", want)
@@ -110,6 +126,29 @@ func TestWebUIEndToEnd(t *testing.T) {
 	}
 	if len(traces[2].Estimates) != len(ms.Databases()) {
 		t.Errorf("trace estimates %d, want one per database", len(traces[2].Estimates))
+	}
+
+	// A malformed trace limit is rejected, not ignored.
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("/debug/trace?n=bogus status = %d, want 400", resp.StatusCode)
+	}
+
+	// /debug/calibration serves the per-bin reliability data recorded
+	// by the audits above.
+	var snap obs.CalibrationSnapshot
+	if err := json.Unmarshal([]byte(get(srv.URL+"/debug/calibration")), &snap); err != nil {
+		t.Fatalf("/debug/calibration is not JSON: %v", err)
+	}
+	if snap.Samples == 0 {
+		t.Error("/debug/calibration shows no audited selections")
+	}
+	if len(snap.Bins) == 0 {
+		t.Error("/debug/calibration has no bins")
 	}
 
 	// pprof is mounted.

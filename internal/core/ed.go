@@ -92,6 +92,55 @@ func (e *ED) RD(rhat float64) (*RD, error) {
 // and reports).
 func (e *ED) Probs() []float64 { return e.Hist.Probs() }
 
+// ReferenceSample materializes up to max points (max ≤ 0 defaults to
+// 256) distributed like this ED, for the drift monitor's two-sample KS
+// test of fresh probe errors against the trained distribution. Each
+// occupied bin contributes its Midpoint in proportion to its count.
+// Fresh observations must be mapped through Quantize before the
+// comparison, so both samples live on the same discrete support and
+// the KS statistic reduces to the maximum cumulative difference over
+// bins — comparing a continuous sample against a bin-reconstructed one
+// directly would inflate the distance by up to the largest bin's mass.
+// Midpoints (never BinMean) keep the support a pure function of the
+// immutable bin edges, stable under online refinement. Returns nil
+// when the ED has no observations. The result is deterministic.
+func (e *ED) ReferenceSample(max int) []float64 {
+	total := e.Hist.Total()
+	if total == 0 {
+		return nil
+	}
+	if max <= 0 {
+		max = 256
+	}
+	n := int64(max)
+	if total < n {
+		n = total
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < e.Hist.Bins(); i++ {
+		p := e.Hist.Prob(i)
+		if p == 0 {
+			continue
+		}
+		count := int64(p*float64(n) + 0.5)
+		if count == 0 {
+			count = 1
+		}
+		rep := e.Hist.Midpoint(i)
+		for j := int64(0); j < count; j++ {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Quantize maps an error value to the Midpoint of its bin — the
+// support ReferenceSample uses — so fresh drift-window observations
+// and the trained reference are compared on identical discrete points.
+func (e *ED) Quantize(v float64) float64 {
+	return e.Hist.Midpoint(e.Hist.BinIndex(v))
+}
+
 // Clone deep-copies the distribution.
 func (e *ED) Clone() *ED {
 	return &ED{Absolute: e.Absolute, Hist: e.Hist.Clone(), UseBinMean: e.UseBinMean}

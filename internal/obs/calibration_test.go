@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCalibrationNilIsNoop(t *testing.T) {
+	var c *Calibration
+	c.Observe(0.5, 1) // must not panic
+	snap := c.Snapshot()
+	if snap.Samples != 0 || len(snap.Bins) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	c.Bind(NewRegistry()) // must not panic
+}
+
+func TestCalibrationBinning(t *testing.T) {
+	c := NewCalibration(10)
+	c.Observe(0.85, 1)
+	c.Observe(0.85, 1)
+	c.Observe(0.85, 0)
+	c.Observe(0.05, 0)
+	snap := c.Snapshot()
+	if snap.Samples != 4 {
+		t.Fatalf("samples = %d", snap.Samples)
+	}
+	if len(snap.Bins) != 10 {
+		t.Fatalf("bins = %d", len(snap.Bins))
+	}
+	b8 := snap.Bins[8] // [0.8, 0.9)
+	if b8.Count != 3 {
+		t.Errorf("bin [0.8,0.9) count = %d, want 3", b8.Count)
+	}
+	if math.Abs(b8.MeanPredicted-0.85) > 1e-12 {
+		t.Errorf("bin mean predicted = %v", b8.MeanPredicted)
+	}
+	if math.Abs(b8.MeanObserved-2.0/3) > 1e-12 {
+		t.Errorf("bin mean observed = %v", b8.MeanObserved)
+	}
+	if math.Abs(b8.Gap-(2.0/3-0.85)) > 1e-12 {
+		t.Errorf("bin gap = %v", b8.Gap)
+	}
+	if snap.Bins[0].Count != 1 {
+		t.Errorf("bin [0,0.1) count = %d, want 1", snap.Bins[0].Count)
+	}
+}
+
+func TestCalibrationBrierAndGap(t *testing.T) {
+	c := NewCalibration(0)
+	// Two observations: (0.9, 1) and (0.5, 0).
+	c.Observe(0.9, 1)
+	c.Observe(0.5, 0)
+	snap := c.Snapshot()
+	wantBrier := (0.1*0.1 + 0.5*0.5) / 2
+	if math.Abs(snap.Brier-wantBrier) > 1e-12 {
+		t.Errorf("Brier = %v, want %v", snap.Brier, wantBrier)
+	}
+	wantGap := (1.0 + 0 - 0.9 - 0.5) / 2
+	if math.Abs(snap.Gap-wantGap) > 1e-12 {
+		t.Errorf("Gap = %v, want %v", snap.Gap, wantGap)
+	}
+	if snap.ECE <= 0 {
+		t.Errorf("ECE = %v, want > 0 for miscalibrated data", snap.ECE)
+	}
+}
+
+func TestCalibrationPerfectPredictionIsZeroError(t *testing.T) {
+	c := NewCalibration(4)
+	for i := 0; i < 50; i++ {
+		c.Observe(1, 1)
+		c.Observe(0, 0)
+	}
+	snap := c.Snapshot()
+	if snap.Brier != 0 || snap.ECE != 0 || snap.Gap != 0 {
+		t.Errorf("perfect predictions: Brier=%v ECE=%v Gap=%v, want all 0", snap.Brier, snap.ECE, snap.Gap)
+	}
+}
+
+func TestCalibrationClampsInputs(t *testing.T) {
+	c := NewCalibration(10)
+	c.Observe(1.7, -3)         // clamps to (1, 0)
+	c.Observe(math.NaN(), 0.5) // clamps to (0, 0.5)
+	snap := c.Snapshot()
+	if snap.Samples != 2 {
+		t.Fatalf("samples = %d", snap.Samples)
+	}
+	if snap.Bins[9].Count != 1 || snap.Bins[0].Count != 1 {
+		t.Errorf("clamped observations landed in wrong bins: %+v", snap.Bins)
+	}
+}
+
+func TestCalibrationBind(t *testing.T) {
+	c := NewCalibration(10)
+	c.Observe(0.75, 1)
+	c.Observe(0.75, 0.5)
+	reg := NewRegistry()
+	c.Bind(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mp_calibration_samples_total 2",
+		"mp_calibration_brier_score",
+		"mp_calibration_ece",
+		"mp_calibration_gap",
+		`mp_calibration_bin_count{bin="0.70-0.80"} 2`,
+		`mp_calibration_bin_gap{bin="0.70-0.80"}`,
+		"# HELP mp_calibration_samples_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCalibrationConcurrentObserve(t *testing.T) {
+	c := NewCalibration(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(float64(w)/8, float64(i%2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if snap := c.Snapshot(); snap.Samples != 4000 {
+		t.Errorf("samples = %d, want 4000", snap.Samples)
+	}
+}

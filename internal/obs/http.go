@@ -20,14 +20,18 @@ func MetricsHandler(r *Registry) http.Handler {
 
 // TraceHandler serves the ring tracer's retained selection traces as a
 // JSON array, newest first — mount it at /debug/trace. The optional
-// ?n= query parameter limits the count.
+// ?n= query parameter limits the count; a malformed or non-positive n
+// is rejected with 400 rather than silently ignored.
 func TraceHandler(t *RingTracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 0
 		if s := req.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				n = v
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
 			}
+			n = v
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
@@ -35,5 +39,44 @@ func TraceHandler(t *RingTracer) http.Handler {
 		if err := enc.Encode(t.Last(n)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+}
+
+// CalibrationHandler serves the reliability accumulator's snapshot as
+// JSON — mount it at /debug/calibration. A nil accumulator serves the
+// zero snapshot, so the endpoint can be mounted unconditionally.
+func CalibrationHandler(c *Calibration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// HealthzHandler reports process liveness: it always answers 200 "ok".
+// Mount it at /healthz for load-balancer liveness checks.
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzHandler reports readiness to serve traffic: 200 "ready" when
+// ready() is true, 503 otherwise. For a metasearcher, readiness means
+// summaries and error distributions are loaded — before that, every
+// selection call fails. Mount it at /readyz. A nil ready func means
+// always ready.
+func ReadyzHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
 	})
 }

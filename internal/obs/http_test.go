@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceHandlerRejectsBadLimits(t *testing.T) {
+	rt := NewRingTracer(4)
+	rt.TraceSelection(SelectionTrace{Query: "q"})
+	srv := httptest.NewServer(TraceHandler(rt))
+	defer srv.Close()
+
+	for _, n := range []string{"bogus", "0", "-1", "1.5", "9999999999999999999999"} {
+		resp, err := srv.Client().Get(srv.URL + "/?n=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("?n=%s status = %d, want 400", n, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "positive integer") {
+			t.Errorf("?n=%s body = %q, want explanation", n, body)
+		}
+	}
+
+	// An absent n still serves everything.
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("no-limit status = %d", resp.StatusCode)
+	}
+}
+
+func TestCalibrationHandler(t *testing.T) {
+	c := NewCalibration(10)
+	c.Observe(0.9, 1)
+	srv := httptest.NewServer(CalibrationHandler(c))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap CalibrationSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Samples != 1 || len(snap.Bins) != 10 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestCalibrationHandlerNilAccumulator(t *testing.T) {
+	srv := httptest.NewServer(CalibrationHandler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("nil accumulator status = %d", resp.StatusCode)
+	}
+	var snap CalibrationSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Samples != 0 {
+		t.Errorf("nil accumulator snapshot = %+v", snap)
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	srv := httptest.NewServer(HealthzHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestReadyzHandler(t *testing.T) {
+	ready := false
+	srv := httptest.NewServer(ReadyzHandler(func() bool { return ready }))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("not-ready status = %d, want 503", resp.StatusCode)
+	}
+
+	ready = true
+	resp, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ready\n" {
+		t.Errorf("ready = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestReadyzHandlerNilFuncAlwaysReady(t *testing.T) {
+	srv := httptest.NewServer(ReadyzHandler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("nil ready func status = %d, want 200", resp.StatusCode)
+	}
+}

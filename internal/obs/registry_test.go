@@ -119,6 +119,43 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+func TestLabelEscapingPerCharacter(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `m{q="plain"} 1`},
+		{`a"b`, `m{q="a\"b"} 1`},
+		{`a\b`, `m{q="a\\b"} 1`},
+		{"a\nb", `m{q="a\nb"} 1`},
+		{`\`, `m{q="\\"} 1`},
+		{``, `m{q=""} 1`},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Counter("m", Labels{"q": tc.in}).Inc()
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), tc.want) {
+			t.Errorf("label %q: got %q, want to contain %q", tc.in, sb.String(), tc.want)
+		}
+	}
+}
+
+func TestLabelOrderingDeterministic(t *testing.T) {
+	// Multiple labels render sorted by key regardless of map iteration
+	// order, so series identity is stable across scrapes.
+	r := NewRegistry()
+	r.Counter("m", Labels{"zeta": "1", "alpha": "2", "mid": "3"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{alpha="2",mid="3",zeta="1"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("got %q, want to contain %q", sb.String(), want)
+	}
+}
+
 func TestRegistryConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

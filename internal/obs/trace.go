@@ -27,6 +27,11 @@ type ProbeTrace struct {
 // replaces ad-hoc logging around Select*/APro and is what
 // /debug/trace serves.
 type SelectionTrace struct {
+	// ID is the per-selection identifier ("sel-000042"), shared with
+	// the caller through SelectionResult.ID and with structured logs,
+	// so one selection can be correlated across trace, log and metric
+	// views. Empty when observability is disabled.
+	ID string `json:",omitempty"`
 	// Time is when the selection started.
 	Time time.Time
 	// Query is the user query.
@@ -121,6 +126,33 @@ func (r *RingTracer) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Dropped returns the number of traces that have been overwritten by
+// newer ones — recorded but no longer retained. A consistently growing
+// drop count is the signal to raise the ring's capacity (or attach a
+// persistent tracer) before debugging an incident.
+func (r *RingTracer) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	retained := int64(r.next)
+	if r.full {
+		retained = int64(len(r.traces))
+	}
+	return r.total - retained
+}
+
+// Bind exports the ring's recorded and dropped counts as lazily read
+// counters in reg (metaprobe_traces_recorded_total,
+// metaprobe_traces_dropped_total). Nil-tolerant on both sides.
+func (r *RingTracer) Bind(reg *Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Help("metaprobe_traces_recorded_total", "Selection traces recorded into the ring tracer.")
+	reg.Help("metaprobe_traces_dropped_total", "Selection traces overwritten by newer ones (recorded but no longer retained).")
+	reg.CounterFunc("metaprobe_traces_recorded_total", nil, func() float64 { return float64(r.Total()) })
+	reg.CounterFunc("metaprobe_traces_dropped_total", nil, func() float64 { return float64(r.Dropped()) })
 }
 
 // MultiTracer fans one trace out to several tracers.

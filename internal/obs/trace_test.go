@@ -145,3 +145,50 @@ func TestMetricsHandler(t *testing.T) {
 		t.Errorf("metrics body = %q", string(body))
 	}
 }
+
+func TestRingTracerDropped(t *testing.T) {
+	rt := NewRingTracer(3)
+	if rt.Dropped() != 0 {
+		t.Errorf("Dropped = %d before any trace", rt.Dropped())
+	}
+	for i := 0; i < 2; i++ {
+		rt.TraceSelection(SelectionTrace{})
+	}
+	if rt.Dropped() != 0 {
+		t.Errorf("Dropped = %d while under capacity", rt.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		rt.TraceSelection(SelectionTrace{})
+	}
+	// 7 recorded, 3 retained.
+	if rt.Dropped() != 4 {
+		t.Errorf("Dropped = %d, want 4", rt.Dropped())
+	}
+}
+
+func TestRingTracerBind(t *testing.T) {
+	rt := NewRingTracer(2)
+	reg := NewRegistry()
+	rt.Bind(reg)
+	for i := 0; i < 5; i++ {
+		rt.TraceSelection(SelectionTrace{})
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"metaprobe_traces_recorded_total 5",
+		"metaprobe_traces_dropped_total 3",
+		"# HELP metaprobe_traces_recorded_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bind is nil-tolerant on both sides.
+	rt.Bind(nil)
+	var nilRT *RingTracer
+	nilRT.Bind(reg)
+}

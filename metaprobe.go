@@ -37,10 +37,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/estimate"
+	"metaprobe/internal/eval"
 	"metaprobe/internal/fusion"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
@@ -83,6 +85,18 @@ type (
 	ProbeTrace = obs.ProbeTrace
 	// RingTracer is a Tracer retaining the last N traces in memory.
 	RingTracer = obs.RingTracer
+	// Calibration is a concurrency-safe reliability accumulator binning
+	// predicted certainty against realized correctness. See
+	// Config.Calibration and NewCalibration.
+	Calibration = obs.Calibration
+	// CalibrationSnapshot is a point-in-time reliability view.
+	CalibrationSnapshot = obs.CalibrationSnapshot
+	// DriftConfig tunes online ED drift detection. See Config.Drift.
+	DriftConfig = obs.DriftConfig
+	// DriftAlert reports one detected error-distribution drift.
+	DriftAlert = obs.DriftAlert
+	// DriftStatus is the state of one monitored (database, query type).
+	DriftStatus = obs.DriftStatus
 )
 
 // NewMetrics returns an empty metrics registry for Config.Metrics.
@@ -91,6 +105,12 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // NewRingTracer returns a Tracer keeping the last capacity traces
 // (capacity ≤ 0 defaults to 64) for Config.Tracer.
 func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// NewCalibration returns a reliability accumulator with numBins
+// equal-width certainty bins over [0, 1] (≤ 0 defaults to 10). Feed it
+// (predicted certainty, realized correctness) pairs wherever ground
+// truth is available — Metasearcher.Audit does so by live-probing.
+func NewCalibration(numBins int) *Calibration { return obs.NewCalibration(numBins) }
 
 // InstrumentDatabase wraps db so that every search and fetch records
 // per-database latency, count and error metrics into reg; when db is a
@@ -145,6 +165,21 @@ type Config struct {
 	// estimates, the chosen set, and each probe's target, usefulness
 	// and certainty-after. Nil disables tracing at the same zero cost.
 	Tracer Tracer
+	// Drift, when non-nil, enables online drift detection on the
+	// learned error distributions: every live probe's fresh error feeds
+	// a bounded sliding window per (database, query type), periodically
+	// KS-tested against the trained ED. Statistics surface through
+	// Metrics (mp_ed_drift_* series) and failed tests through OnDrift.
+	// The zero DriftConfig value selects sensible defaults. Detection
+	// starts once Train (or NewFromModel) has produced a model; nil —
+	// the default — keeps the probe path free of drift bookkeeping.
+	Drift *DriftConfig
+	// OnDrift, when non-nil alongside Drift, is invoked synchronously
+	// on the probing goroutine for every failed drift test, so callers
+	// can schedule re-probing or re-training (the paper's adaptive loop
+	// closed online). Implementations should be fast and debounce: a
+	// persistently drifted key re-alerts every Drift.Interval probes.
+	OnDrift func(DriftAlert)
 }
 
 // DocFrequencyRelevancy returns the paper's default relevancy: number
@@ -168,6 +203,11 @@ type Metasearcher struct {
 	rel   Relevancy
 	cfg   Config
 	model *core.Model
+	// drift is the online ED drift detector, built from cfg.Drift once
+	// a model exists (nil when disabled or untrained).
+	drift *obs.DriftDetector
+	// selSeq numbers selections for trace/log correlation IDs.
+	selSeq atomic.Int64
 }
 
 // New builds a metasearcher over the given databases and their content
@@ -236,7 +276,49 @@ func (m *Metasearcher) Train(trainQueries []string) error {
 		return fmt.Errorf("metaprobe: %w", err)
 	}
 	m.model = model
+	m.initDrift()
 	return nil
+}
+
+// initDrift builds the drift detector from the trained model: every
+// (database, query type) whose ED carries at least MinObservations
+// training samples gets a reference sample to test fresh probe errors
+// against. Must run after m.model is set; a nil cfg.Drift disables
+// detection entirely.
+func (m *Metasearcher) initDrift() {
+	if m.cfg.Drift == nil || m.model == nil {
+		return
+	}
+	d := obs.NewDriftDetector(*m.cfg.Drift)
+	d.SetMetrics(m.cfg.Metrics)
+	d.SetOnAlert(m.cfg.OnDrift)
+	minObs := m.model.Cfg.MinObservations
+	for i, dm := range m.model.DBs {
+		name := m.tb.DB(i).Name()
+		for key, ed := range dm.EDs {
+			if ed.Observations() >= minObs {
+				d.SetReference(name, key.String(), ed.ReferenceSample(0))
+			}
+		}
+	}
+	m.drift = d
+}
+
+// DriftStatuses reports the state of every drift-monitored (database,
+// query type): window occupancy, tests run, alerts raised, latest KS
+// statistic and p-value. Empty unless Config.Drift is set and the
+// model is trained.
+func (m *Metasearcher) DriftStatuses() []DriftStatus {
+	return m.drift.Snapshot()
+}
+
+// DriftConfig returns the effective drift-detection configuration with
+// defaults applied, or the zero value when detection is disabled.
+func (m *Metasearcher) DriftConfig() DriftConfig {
+	if m.drift == nil {
+		return DriftConfig{}
+	}
+	return m.drift.Config()
 }
 
 // Estimates returns r̂(db, q) for every database, in order.
@@ -265,12 +347,17 @@ func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, flo
 		return nil, 0, err
 	}
 	set, e := sel.Best()
-	m.observe(query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
+	m.observe(m.nextSelectionID(), query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
 	return m.names(set), e, nil
 }
 
 // SelectionResult reports an adaptive-probing selection.
 type SelectionResult struct {
+	// ID is the selection's correlation identifier ("sel-000042"),
+	// shared with the SelectionTrace and intended for structured logs.
+	// Empty when neither Metrics nor Tracer is configured (the disabled
+	// path allocates nothing).
+	ID string
 	// Databases are the selected database names (testbed order).
 	Databases []string
 	// Certainty is the expected correctness of the answer.
@@ -305,9 +392,14 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	numTerms := len(strings.Fields(query))
 	probe := func(i int) (float64, error) {
 		v, err := m.rel.Probe(m.tb.DB(i), query)
-		if err == nil && m.cfg.OnlineRefinement {
-			if oerr := m.model.ObserveProbe(i, query, numTerms, v); oerr != nil {
-				return 0, oerr
+		if err == nil {
+			if m.cfg.OnlineRefinement {
+				if oerr := m.model.ObserveProbe(i, query, numTerms, v); oerr != nil {
+					return 0, oerr
+				}
+			}
+			if m.drift != nil {
+				m.observeDrift(sel, i, numTerms, v)
 			}
 		}
 		return v, err
@@ -316,13 +408,46 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	if err != nil && len(out.Set) == 0 {
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
-	m.observe(query, metric, t, sel, out, start)
+	id := m.nextSelectionID()
+	m.observe(id, query, metric, t, sel, out, start)
 	return &SelectionResult{
+		ID:        id,
 		Databases: m.names(out.Set),
 		Certainty: out.Certainty,
 		Probes:    out.Probes(),
 		Reached:   out.Reached,
 	}, nil
+}
+
+// observeDrift feeds one successful live probe into the drift
+// detector: the relative error (r − r̂)/r̂ for the relative-error query
+// types, the absolute relevancy for the r̂ = 0 band — the same value
+// space the matching ED was trained in — quantized onto the ED's bin
+// support (see ED.ReferenceSample) so the KS comparison is apples to
+// apples. Probes whose query type has no trained ED are skipped; the
+// detector has no reference to test them against anyway.
+func (m *Metasearcher) observeDrift(sel *core.Selection, i, numTerms int, actual float64) {
+	rhat := sel.Estimate(i)
+	key := m.model.Cfg.Classifier.Classify(numTerms, rhat)
+	ed, ok := m.model.DBs[i].EDs[key]
+	if !ok {
+		return
+	}
+	v := actual
+	if key.Band != core.BandZero {
+		v = (actual - rhat) / rhat
+	}
+	m.drift.Observe(m.tb.DB(i).Name(), key.String(), ed.Quantize(v))
+}
+
+// nextSelectionID returns the next selection correlation ID, or ""
+// when observability is disabled (keeping the nil-sink path
+// allocation-free).
+func (m *Metasearcher) nextSelectionID() string {
+	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
+		return ""
+	}
+	return fmt.Sprintf("sel-%06d", m.selSeq.Add(1))
 }
 
 // registerSelectionMetrics pre-creates the selection-path series (with
@@ -357,7 +482,7 @@ func (m *Metasearcher) obsNow() time.Time {
 
 // observe records metrics and emits a trace for one finished
 // selection. With both sinks nil it returns immediately.
-func (m *Metasearcher) observe(query string, metric Metric, threshold float64, sel *core.Selection, out core.Outcome, start time.Time) {
+func (m *Metasearcher) observe(id, query string, metric Metric, threshold float64, sel *core.Selection, out core.Outcome, start time.Time) {
 	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
 		return
 	}
@@ -378,6 +503,7 @@ func (m *Metasearcher) observe(query string, metric Metric, threshold float64, s
 	if tr := m.cfg.Tracer; tr != nil {
 		n := m.tb.Len()
 		trace := SelectionTrace{
+			ID:               id,
 			Time:             start,
 			Query:            query,
 			K:                sel.K,
@@ -572,7 +698,44 @@ func NewFromModel(dbs []Database, modelPath string, cfg *Config) (*Metasearcher,
 	}
 	ms.rel = model.Rel
 	ms.model = model
+	ms.initDrift()
 	return ms, nil
+}
+
+// Audit computes the realized correctness of a returned answer by
+// live-probing every database for the true top-k — the ground truth
+// behind online calibration tracking. It returns the realized
+// correctness of selected under metric and, when cal is non-nil,
+// records the (certainty, realized) pair into it. One audit costs one
+// probe per mediated database, so high-traffic deployments should
+// sample (audit every Nth answer) rather than audit everything.
+func (m *Metasearcher) Audit(cal *Calibration, query string, metric Metric, selected []string, certainty float64) (float64, error) {
+	actual := make([]float64, m.tb.Len())
+	for i := range actual {
+		v, err := m.rel.Probe(m.tb.DB(i), query)
+		if err != nil {
+			return 0, fmt.Errorf("metaprobe: audit probe %s: %w", m.tb.DB(i).Name(), err)
+		}
+		actual[i] = v
+	}
+	set := make([]int, 0, len(selected))
+	for _, name := range selected {
+		i := m.tb.IndexOf(name)
+		if i < 0 {
+			return 0, fmt.Errorf("metaprobe: audit: unknown database %q", name)
+		}
+		set = append(set, i)
+	}
+	sort.Ints(set)
+	topk := core.TopKByScore(actual, len(selected))
+	var realized float64
+	if metric == Partial {
+		realized = eval.CorP(set, topk)
+	} else {
+		realized = eval.CorA(set, topk)
+	}
+	cal.Observe(certainty, realized)
+	return realized, nil
 }
 
 // NewLocalDatabase builds an in-process database from raw documents
