@@ -13,12 +13,18 @@
 //	    [-scale 0.02] [-queries 200] [-k 3] [-t 0.9] [-seed 2004]
 //	go run ./cmd/bench -smoke -label ci    # CI-sized run, health preset only
 //
-// Each preset runs the three selection tiers over one workload:
-// baseline (term-independence top-k), rd (probabilistic, no probing)
-// and apro (adaptive probing to the certainty threshold).
+// Each preset runs five selection tiers over one workload: baseline
+// (term-independence top-k), rd (probabilistic, no probing), apro
+// (adaptive probing to the certainty threshold), and two context-aware
+// tiers on a latency-injected copy of the testbed — apro-ctx-m1
+// (sequential, through the probe-execution engine) and apro-ctx-m2
+// (speculation 2, two candidates probed concurrently per round) — so
+// the report tracks the wall-clock effect of speculative probing along
+// with probes-in-flight and degraded-selection counts.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,16 +45,17 @@ import (
 
 // benchConfig parameterizes one harness run.
 type benchConfig struct {
-	label   string
-	outDir  string
-	preset  string
-	smoke   bool
-	scale   float64
-	seed    int64
-	trainN  int
-	queries int
-	k       int
-	t       float64
+	label      string
+	outDir     string
+	preset     string
+	smoke      bool
+	scale      float64
+	seed       int64
+	trainN     int
+	queries    int
+	k          int
+	t          float64
+	probeDelay time.Duration
 }
 
 // latencySummary reports selection latency in milliseconds.
@@ -70,6 +77,15 @@ type workloadResult struct {
 	AvgCorP        float64                  `json:"avg_cor_p"`
 	ReachedFrac    float64                  `json:"reached_frac"`
 	Calibration    *obs.CalibrationSnapshot `json:"calibration,omitempty"`
+	// InflightP99 is the p99 of probes in flight sampled at each probe's
+	// slot acquisition (context tiers only).
+	InflightP99 float64 `json:"probe_inflight_p99,omitempty"`
+	// DegradedSelections counts selections that excluded a backend
+	// (context tiers only; expected 0 on a healthy testbed).
+	DegradedSelections int64 `json:"degraded_selections,omitempty"`
+	// SpeedupVsM1 is the m1 tier's mean latency divided by this tier's
+	// (set on apro-ctx-m2 only): > 1 means speculation bought wall-clock.
+	SpeedupVsM1 float64 `json:"speedup_vs_m1,omitempty"`
 }
 
 // benchReport is the BENCH_<label>.json document.
@@ -105,6 +121,7 @@ func main() {
 	flag.IntVar(&cfg.queries, "queries", 200, "workload queries (split between 2- and 3-term)")
 	flag.IntVar(&cfg.k, "k", 3, "databases to select")
 	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold for the apro tier")
+	flag.DurationVar(&cfg.probeDelay, "probe-delay", 25*time.Millisecond, "injected per-probe latency for the context tiers")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -274,7 +291,78 @@ func runPreset(preset string, cfg benchConfig, log *slog.Logger) ([]workloadResu
 		}
 		out = append(out, res)
 	}
+	ctxResults, err := runContextTiers(preset, cfg, env, log)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, ctxResults...), nil
+}
+
+// runContextTiers measures the context-aware engine on a latency-
+// injected copy of the testbed, once sequential (m1) and once with
+// speculation 2 (m2). The trained model is reused via a temp file so
+// the slow databases are only ever probed, never re-trained.
+func runContextTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.Logger) ([]workloadResult, error) {
+	tmp, err := os.CreateTemp("", "metaprobe-bench-model-*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	if err := env.ms.SaveModel(tmp.Name()); err != nil {
+		return nil, err
+	}
+	var out []workloadResult
+	var m1Mean float64
+	for _, m := range []int{1, 2} {
+		name := fmt.Sprintf("apro-ctx-m%d", m)
+		cenv, reg, err := buildCtxEnv(env, cfg, tmp.Name(), m)
+		if err != nil {
+			return nil, err
+		}
+		log.Info("running workload", "preset", preset, "tier", name,
+			"queries", len(env.workload), "probe_delay", cfg.probeDelay)
+		run := func(q string) (answer, error) {
+			res, err := cenv.ms.SelectWithCertaintyContext(context.Background(), q, cfg.k, metaprobe.Absolute, cfg.t, -1)
+			if err != nil {
+				return answer{}, err
+			}
+			return answer{set: cenv.indices(res.Databases), certainty: res.Certainty,
+				probes: res.Probes, reached: res.Reached}, nil
+		}
+		res, err := cenv.measure(preset, name, true, cfg, run)
+		if err != nil {
+			return nil, err
+		}
+		res.InflightP99 = reg.Histogram("mp_probe_inflight_at_acquire", nil).Quantile(0.99)
+		res.DegradedSelections = reg.Counter("mp_selections_degraded_total", nil).Value()
+		if m == 1 {
+			m1Mean = res.LatencyMs.Mean
+		} else if res.LatencyMs.Mean > 0 {
+			res.SpeedupVsM1 = m1Mean / res.LatencyMs.Mean
+		}
+		out = append(out, res)
+	}
 	return out, nil
+}
+
+// buildCtxEnv reloads the trained model over a latency-injected view
+// of the testbed and configures the probe-execution engine with the
+// given speculation width.
+func buildCtxEnv(env *presetEnv, cfg benchConfig, modelPath string, m int) (*presetEnv, *metaprobe.Metrics, error) {
+	dbs := make([]metaprobe.Database, env.tb.Len())
+	for i := range dbs {
+		dbs[i] = hidden.NewLatency(env.tb.DB(i), cfg.probeDelay)
+	}
+	reg := metaprobe.NewMetrics()
+	ms, err := metaprobe.NewFromModel(dbs, modelPath, &metaprobe.Config{
+		Speculation: m,
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &presetEnv{ms: ms, tb: env.tb, workload: env.workload, golden: env.golden}, reg, nil
 }
 
 // indices maps database names back to testbed indices (sorted).

@@ -33,8 +33,8 @@ func TestSmokeRun(t *testing.T) {
 	if rep.Label != "smoketest" || !rep.Smoke {
 		t.Errorf("report header = label %q smoke %v, want smoketest/true", rep.Label, rep.Smoke)
 	}
-	if len(rep.Workloads) != 3 {
-		t.Fatalf("got %d workloads, want 3 (baseline, rd, apro)", len(rep.Workloads))
+	if len(rep.Workloads) != 5 {
+		t.Fatalf("got %d workloads, want 5 (baseline, rd, apro, apro-ctx-m1, apro-ctx-m2)", len(rep.Workloads))
 	}
 	names := map[string]workloadResult{}
 	for _, w := range rep.Workloads {
@@ -52,7 +52,7 @@ func TestSmokeRun(t *testing.T) {
 			t.Errorf("workload %s correctness out of [0,1]: CorA=%v CorP=%v", w.Name, w.AvgCorA, w.AvgCorP)
 		}
 	}
-	for _, want := range []string{"baseline", "rd", "apro"} {
+	for _, want := range []string{"baseline", "rd", "apro", "apro-ctx-m1", "apro-ctx-m2"} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing workload %q", want)
 		}
@@ -79,6 +79,27 @@ func TestSmokeRun(t *testing.T) {
 	// least rd's on the same fixed-seed workload.
 	if names["apro"].AvgCorA < names["rd"].AvgCorA {
 		t.Errorf("apro CorA %v < rd CorA %v on the same workload", names["apro"].AvgCorA, names["rd"].AvgCorA)
+	}
+	// The context tiers run the same model on the same workload through
+	// the probe-execution engine; the probe trajectory is byte-identical
+	// to the sequential algorithm at any speculation level, so
+	// correctness and probe counts must match apro exactly.
+	for _, tier := range []string{"apro-ctx-m1", "apro-ctx-m2"} {
+		if names[tier].AvgCorA != names["apro"].AvgCorA {
+			t.Errorf("%s CorA %v != apro CorA %v", tier, names[tier].AvgCorA, names["apro"].AvgCorA)
+		}
+		if names[tier].ProbesPerQuery != names["apro"].ProbesPerQuery {
+			t.Errorf("%s probes/query %v != apro %v", tier, names[tier].ProbesPerQuery, names["apro"].ProbesPerQuery)
+		}
+		if names[tier].DegradedSelections != 0 {
+			t.Errorf("%s reported %d degraded selections on healthy backends", tier, names[tier].DegradedSelections)
+		}
+	}
+	if names["apro-ctx-m2"].SpeedupVsM1 <= 0 {
+		t.Errorf("apro-ctx-m2 speedup_vs_m1 = %v, want > 0", names["apro-ctx-m2"].SpeedupVsM1)
+	}
+	if names["apro-ctx-m2"].InflightP99 < 1 {
+		t.Errorf("apro-ctx-m2 probe_inflight_p99 = %v, want ≥ 1", names["apro-ctx-m2"].InflightP99)
 	}
 }
 

@@ -6,13 +6,20 @@
 // trade-off the paper's Section 5.2 worries about — every probe is a
 // remote round trip — shows up in wall-clock numbers.
 //
+// With -speculation or -deadline the replay goes through the
+// context-aware selection path (SelectWithCertaintyContext): probes for
+// the policy's runners-up are prefetched concurrently, and a per-query
+// deadline abandons selections that overrun it.
+//
 // Usage:
 //
 //	go run ./cmd/loadtest [-queries 400] [-concurrency 4]
 //	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02] [-v]
+//	    [-speculation 2] [-deadline 2s] [-max-inflight 16]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -40,6 +47,15 @@ type loadConfig struct {
 	latency     time.Duration
 	k           int
 	t           float64
+	speculation int
+	deadline    time.Duration
+	maxInflight int
+}
+
+// useContext reports whether the run should go through the
+// context-aware selection path.
+func (c loadConfig) useContext() bool {
+	return c.speculation > 1 || c.deadline > 0 || c.maxInflight > 0
 }
 
 // loadReport summarizes a run.
@@ -50,6 +66,9 @@ type loadReport struct {
 	p99         time.Duration
 	avgProbes   float64
 	reachedFrac float64
+	// degraded counts selections that excluded at least one backend
+	// (probe failure or open circuit breaker).
+	degraded int
 	// avgCorA is the mean absolute correctness of the selections
 	// against the golden standard.
 	avgCorA float64
@@ -71,6 +90,9 @@ func main() {
 	flag.DurationVar(&cfg.latency, "latency", 5*time.Millisecond, "injected per-probe latency")
 	flag.IntVar(&cfg.k, "k", 3, "databases to select")
 	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold")
+	flag.IntVar(&cfg.speculation, "speculation", 1, "probes dispatched per selection round (>1 enables the context path)")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-query deadline (0 = none; >0 enables the context path)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "global cap on concurrent probes (0 = executor default; >0 enables the context path)")
 	verbose := flag.Bool("v", false, "log every selection (with its correlation ID) at debug level")
 	flag.Parse()
 
@@ -113,7 +135,11 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	if err != nil {
 		return loadReport{}, err
 	}
-	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{Metrics: reg})
+	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{
+		Metrics:          reg,
+		Speculation:      cfg.speculation,
+		ProbeConcurrency: metaprobe.ProbeLimits{Global: cfg.maxInflight},
+	})
 	if err != nil {
 		return loadReport{}, err
 	}
@@ -154,9 +180,10 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	latencyHist := reg.Histogram("loadtest_query_latency_seconds", nil)
 	reg.Help("loadtest_query_latency_seconds", "End-to-end latency of one workload query.")
 	type sample struct {
-		probes  int
-		reached bool
-		corA    float64
+		probes   int
+		reached  bool
+		degraded bool
+		corA     float64
 	}
 	samples := make([]sample, len(workload))
 	jobs := make(chan int)
@@ -170,7 +197,18 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 			defer wg.Done()
 			for qi := range jobs {
 				qStart := time.Now()
-				res, err := ms.SelectWithCertainty(workload[qi].String(), cfg.k, metaprobe.Absolute, cfg.t, -1)
+				var res *metaprobe.SelectionResult
+				var err error
+				if cfg.useContext() {
+					ctx, cancel := context.Background(), context.CancelFunc(func() {})
+					if cfg.deadline > 0 {
+						ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+					}
+					res, err = ms.SelectWithCertaintyContext(ctx, workload[qi].String(), cfg.k, metaprobe.Absolute, cfg.t, -1)
+					cancel()
+				} else {
+					res, err = ms.SelectWithCertainty(workload[qi].String(), cfg.k, metaprobe.Absolute, cfg.t, -1)
+				}
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
@@ -191,8 +229,9 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 				cal.Observe(res.Certainty, corA)
 				log.Debug("selection",
 					"selection", res.ID, "query", workload[qi].String(),
-					"certainty", res.Certainty, "probes", res.Probes, "cor_a", corA)
-				samples[qi] = sample{probes: res.Probes, reached: res.Reached, corA: corA}
+					"certainty", res.Certainty, "probes", res.Probes, "cor_a", corA,
+					"degraded", res.Degraded)
+				samples[qi] = sample{probes: res.Probes, reached: res.Reached, degraded: res.Degraded, corA: corA}
 			}
 		}()
 	}
@@ -207,11 +246,15 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	wall := time.Since(start)
 
 	var probes, reached, corA float64
+	var degraded int
 	for _, s := range samples {
 		probes += float64(s.probes)
 		corA += s.corA
 		if s.reached {
 			reached++
+		}
+		if s.degraded {
+			degraded++
 		}
 	}
 	// Percentiles come from the shared obs histogram — the same
@@ -230,6 +273,7 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 		p99:         time.Duration(qs[2] * float64(time.Second)),
 		avgProbes:   probes / float64(len(workload)),
 		reachedFrac: reached / float64(len(workload)),
+		degraded:    degraded,
 		avgCorA:     corA / float64(len(workload)),
 		calibration: cal.Snapshot(),
 		metrics:     snapshot.String(),
@@ -247,6 +291,7 @@ func printReport(w *os.File, cfg loadConfig, rep loadReport) {
 	fmt.Fprintf(w, "latency p99      %v\n", rep.p99.Round(time.Microsecond))
 	fmt.Fprintf(w, "avg probes       %.2f\n", rep.avgProbes)
 	fmt.Fprintf(w, "reached target   %.1f%%\n", rep.reachedFrac*100)
+	fmt.Fprintf(w, "degraded         %d\n", rep.degraded)
 	fmt.Fprintf(w, "avg Cor_a        %.3f\n", rep.avgCorA)
 	fmt.Fprintf(w, "calibration      Brier %.3f, ECE %.3f, gap %+.3f over %d selections\n",
 		rep.calibration.Brier, rep.calibration.ECE, rep.calibration.Gap, rep.calibration.Samples)

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -100,6 +101,8 @@ func remoteQuery(args []string) {
 	trainN := fs.Int("train", 200, "training queries per term count")
 	sampleN := fs.Int("sample", 60, "sampling probes per database for summaries")
 	html := fs.Bool("html", true, "scrape HTML answer pages (false: JSON)")
+	spec := fs.Int("speculation", 1, "probes dispatched per adaptive-probing round")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe deadline (0 = none)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fatal(fmt.Errorf("query: need query terms"))
@@ -120,7 +123,7 @@ func remoteQuery(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	ms, err := metaprobe.New(dbs, sums, nil)
+	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{Speculation: *spec, ProbeTimeout: *probeTimeout})
 	if err != nil {
 		fatal(err)
 	}
@@ -141,7 +144,7 @@ func remoteQuery(args []string) {
 	if err := ms.Train(train); err != nil {
 		fatal(err)
 	}
-	report(ms, query, *k, *t)
+	report(ms, query, *k, *t, *spec > 1 || *probeTimeout > 0)
 }
 
 // demo is serve+query fused into one process.
@@ -154,6 +157,8 @@ func demo(args []string) {
 	seed := fs.Int64("seed", 2004, "random seed")
 	modelPath := fs.String("model", "", "model file: loaded when present, written after training otherwise")
 	trainLog := fs.String("trainlog", "", "file with training queries (one per line) instead of generated ones")
+	spec := fs.Int("speculation", 1, "probes dispatched per adaptive-probing round")
+	probeTimeout := fs.Duration("probe-timeout", 0, "per-probe deadline (0 = none)")
 	fs.Parse(args)
 	query := "breast cancer"
 	if fs.NArg() > 0 {
@@ -171,15 +176,18 @@ func demo(args []string) {
 		dbs[i] = tb.DB(i)
 	}
 
+	cfg := &metaprobe.Config{Speculation: *spec, ProbeTimeout: *probeTimeout}
+	ctxPath := *spec > 1 || *probeTimeout > 0
+
 	// A persisted model skips both summary building and training.
 	if *modelPath != "" {
 		if _, statErr := os.Stat(*modelPath); statErr == nil {
 			logger.Info("loading model", "path", *modelPath)
-			ms, err := metaprobe.NewFromModel(dbs, *modelPath, nil)
+			ms, err := metaprobe.NewFromModel(dbs, *modelPath, cfg)
 			if err != nil {
 				fatal(err)
 			}
-			report(ms, query, *k, *t)
+			report(ms, query, *k, *t, ctxPath)
 			return
 		}
 	}
@@ -188,7 +196,7 @@ func demo(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	ms, err := metaprobe.New(dbs, sums, nil)
+	ms, err := metaprobe.New(dbs, sums, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -224,11 +232,14 @@ func demo(args []string) {
 		}
 		logger.Info("saved model", "path", *modelPath)
 	}
-	report(ms, query, *k, *t)
+	report(ms, query, *k, *t, ctxPath)
 }
 
 // report prints the three tiers and the fused results for one query.
-func report(ms *metaprobe.Metasearcher, query string, k int, t float64) {
+// With ctxPath the adaptive-probing tier goes through the concurrent
+// probe-execution engine (SelectWithCertaintyContext) and reports
+// degradation when backends had to be excluded.
+func report(ms *metaprobe.Metasearcher, query string, k int, t float64, ctxPath bool) {
 	fmt.Printf("\nquery: %q  (k=%d, certainty %.2f)\n\n", query, k, t)
 
 	expl, err := ms.Explain(query, k)
@@ -250,11 +261,20 @@ func report(ms *metaprobe.Metasearcher, query string, k int, t float64) {
 		fatal(err)
 	}
 	fmt.Printf("RD-based:  %v (certainty %.3f)\n", set, e)
-	res, err := ms.SelectWithCertainty(query, k, metaprobe.Absolute, t, -1)
+	var res *metaprobe.SelectionResult
+	if ctxPath {
+		res, err = ms.SelectWithCertaintyContext(context.Background(), query, k, metaprobe.Absolute, t, -1)
+	} else {
+		res, err = ms.SelectWithCertainty(query, k, metaprobe.Absolute, t, -1)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("APro:      %v (certainty %.3f, %d probes)\n\n", res.Databases, res.Certainty, res.Probes)
+	fmt.Printf("APro:      %v (certainty %.3f, %d probes)\n", res.Databases, res.Certainty, res.Probes)
+	if res.Degraded {
+		fmt.Printf("           degraded: excluded %v\n", res.ExcludedDBs)
+	}
+	fmt.Println()
 
 	items, _, err := ms.Metasearch(query, k, metaprobe.Partial, t, 10)
 	if err != nil {

@@ -56,10 +56,24 @@ type Outcome struct {
 
 // UsefulnessReporter is implemented by probe policies that compute an
 // expected usefulness for the database they choose; APro records it in
-// the outcome's steps so selection traces can show why each probe was
+// the outcome's steps so selection traces can show why each probe is
 // picked. LastUsefulness refers to the most recent Next call.
 type UsefulnessReporter interface {
 	LastUsefulness() float64
+}
+
+// Ranker is implemented by probe policies that can rank several probe
+// candidates at once, in the order Next would choose them on the
+// current state. The speculative parallel APro (internal/probeexec)
+// uses it to dispatch the top-m candidates concurrently; policies
+// without it fall back to strictly sequential probing. Rank must
+// return the same first element Next would return, so m=1 speculation
+// is exactly the paper's greedy sequential loop.
+type Ranker interface {
+	// Rank returns up to m unprobed candidate databases in decreasing
+	// expected-usefulness order along with each candidate's raw
+	// usefulness; m <= 0 ranks all candidates.
+	Rank(s *Selection, t float64, m int) (dbs []int, usefulness []float64, err error)
 }
 
 // Probes returns the number of successful probes performed.
@@ -175,11 +189,26 @@ func (g *Greedy) Usefulness(s *Selection, i int) float64 {
 	return u
 }
 
-// Next implements Policy.
+// Next implements Policy: the top-ranked candidate.
 func (g *Greedy) Next(s *Selection, t float64) (int, error) {
+	dbs, us, err := g.Rank(s, t, 1)
+	if err != nil {
+		return 0, err
+	}
+	g.lastUsefulness = us[0]
+	return dbs[0], nil
+}
+
+// Rank implements Ranker: the top-m unprobed databases in the order
+// Next would choose them, by repeated selection with Next's exact
+// comparison rules (score above an epsilon margin wins; near-equal
+// scores prefer the cheaper probe; remaining ties the lower index).
+// Usefulness values are the raw (cost-unnormalized) expectations,
+// matching LastUsefulness.
+func (g *Greedy) Rank(s *Selection, t float64, m int) ([]int, []float64, error) {
 	unprobed := s.Unprobed()
 	if len(unprobed) == 0 {
-		return 0, fmt.Errorf("no unprobed database left")
+		return nil, nil, fmt.Errorf("no unprobed database left")
 	}
 	_, current := s.Best()
 	cost := func(i int) float64 {
@@ -191,8 +220,11 @@ func (g *Greedy) Next(s *Selection, t float64) (int, error) {
 		}
 		return 1
 	}
-	best := -1
-	bestScore, bestCost, bestRaw := 0.0, 0.0, 0.0
+	type candidate struct {
+		i                int
+		raw, score, cost float64
+	}
+	var cands []candidate
 	for _, i := range unprobed {
 		if s.RD(i).IsImpulse() {
 			// Probing a known value cannot change anything; skip
@@ -208,22 +240,39 @@ func (g *Greedy) Next(s *Selection, t float64) (int, error) {
 			// should prefer the cheaper probe.
 			score = (score - current) / c
 		}
-		switch {
-		case best < 0,
-			score > bestScore+probEpsilon,
-			// On (near-)equal scores, prefer the cheaper probe.
-			equalFloat(score, bestScore) && c < bestCost-probEpsilon:
-			best, bestScore, bestCost, bestRaw = i, score, c, raw
-		}
+		cands = append(cands, candidate{i: i, raw: raw, score: score, cost: c})
 	}
-	if best < 0 {
+	if len(cands) == 0 {
 		// All remaining RDs are impulses; probing is informationless
 		// but legal — pick the first to make progress.
-		best = unprobed[0]
-		bestRaw = current
+		return []int{unprobed[0]}, []float64{current}, nil
 	}
-	g.lastUsefulness = bestRaw
-	return best, nil
+	if m <= 0 || m > len(cands) {
+		m = len(cands)
+	}
+	dbs := make([]int, 0, m)
+	us := make([]float64, 0, m)
+	picked := make([]bool, len(cands))
+	for len(dbs) < m {
+		best := -1
+		bestScore, bestCost := 0.0, 0.0
+		for ci, c := range cands {
+			if picked[ci] {
+				continue
+			}
+			switch {
+			case best < 0,
+				c.score > bestScore+probEpsilon,
+				// On (near-)equal scores, prefer the cheaper probe.
+				equalFloat(c.score, bestScore) && c.cost < bestCost-probEpsilon:
+				best, bestScore, bestCost = ci, c.score, c.cost
+			}
+		}
+		picked[best] = true
+		dbs = append(dbs, cands[best].i)
+		us = append(us, cands[best].raw)
+	}
+	return dbs, us, nil
 }
 
 // Random probes a uniformly random unprobed database — the naive

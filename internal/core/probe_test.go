@@ -360,3 +360,74 @@ func TestGreedySkipsImpulses(t *testing.T) {
 		t.Errorf("greedy picked impulse db %d; probing it is useless", next)
 	}
 }
+
+func TestGreedyRankMatchesNext(t *testing.T) {
+	// Rank's head must equal Next on every reachable state, and the
+	// full ranking must be the order repeated Next calls would visit
+	// (the structural guarantee speculative probing relies on).
+	rng := stats.NewRNG(91)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(4)
+		rds := make([]*RD, n)
+		for i := range rds {
+			m := 1 + rng.Intn(3)
+			vals := make([]float64, m)
+			probs := make([]float64, m)
+			for j := range vals {
+				vals[j] = float64(rng.Intn(50)) + float64(j)*0.01
+				probs[j] = rng.Float64() + 0.05
+			}
+			rds[i] = MustRD(vals, probs)
+		}
+		sel := NewSelectionFromRDs(rds, Absolute, 1)
+		g := &Greedy{}
+		dbs, us, err := g.Rank(sel, 0.99, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dbs) == 0 || len(dbs) != len(us) {
+			t.Fatalf("trial %d: Rank returned %d dbs, %d usefulness", trial, len(dbs), len(us))
+		}
+		next, err := g.Next(sel, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != dbs[0] {
+			t.Fatalf("trial %d: Next = %d, Rank head = %d", trial, next, dbs[0])
+		}
+		if g.LastUsefulness() != us[0] {
+			t.Errorf("trial %d: LastUsefulness = %v, Rank usefulness = %v", trial, g.LastUsefulness(), us[0])
+		}
+		// A truncated ranking must be a prefix of the full one (single-
+		// value RDs are impulses, so some trials rank fewer than 2).
+		if len(dbs) >= 2 {
+			head, headUs, err := g.Rank(sel, 0.99, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(head) != 2 || head[0] != dbs[0] || head[1] != dbs[1] {
+				t.Errorf("trial %d: Rank(m=2) = %v, want prefix of %v", trial, head, dbs)
+			}
+			if headUs[0] != us[0] || headUs[1] != us[1] {
+				t.Errorf("trial %d: Rank(m=2) usefulness %v, want prefix of %v", trial, headUs, us)
+			}
+		}
+	}
+}
+
+func TestGreedyRankAllImpulses(t *testing.T) {
+	rds := []*RD{Impulse(50), Impulse(60)}
+	sel := NewSelectionFromRDs(rds, Absolute, 1)
+	g := &Greedy{}
+	dbs, us, err := g.Rank(sel, 0.99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != 1 || dbs[0] != 0 {
+		t.Errorf("Rank over impulses = %v, want [0]", dbs)
+	}
+	_, current := sel.Best()
+	if len(us) != 1 || us[0] != current {
+		t.Errorf("usefulness = %v, want current certainty %v", us, current)
+	}
+}

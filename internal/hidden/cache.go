@@ -2,6 +2,7 @@ package hidden
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -55,27 +56,53 @@ func (c *Cached) Unwrap() Database { return c.db }
 // cached.
 func (c *Cached) Search(query string, topK int) (Result, error) {
 	key := fmt.Sprintf("%d\x00%s", topK, query)
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		res := el.Value.(*cacheEntry).res
-		c.hits++
-		c.mu.Unlock()
+	if res, ok := c.lookup(key); ok {
 		return res, nil
 	}
-	c.misses++
-	c.mu.Unlock()
-
 	res, err := c.db.Search(query, topK)
 	if err != nil {
 		return Result{}, err
 	}
+	return c.store(key, query, topK, res), nil
+}
+
+// SearchContext implements ContextDatabase. Hits answer from memory
+// regardless of the context's state; misses go to the backend under
+// ctx.
+func (c *Cached) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	key := fmt.Sprintf("%d\x00%s", topK, query)
+	if res, ok := c.lookup(key); ok {
+		return res, nil
+	}
+	res, err := SearchContext(ctx, c.db, query, topK)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.store(key, query, topK, res), nil
+}
+
+// lookup returns the cached answer for key, counting the hit or miss.
+func (c *Cached) lookup(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return Result{}, false
+}
+
+// store memoizes one answer, evicting the least recently used entries
+// beyond capacity, and returns the canonical cached value.
+func (c *Cached) store(key, query string, topK int, res Result) Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// A concurrent caller cached it first; keep theirs.
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).res, nil
+		return el.Value.(*cacheEntry).res
 	}
 	el := c.order.PushFront(&cacheEntry{query: query, topK: topK, res: res})
 	c.entries[key] = el
@@ -85,7 +112,7 @@ func (c *Cached) Search(query string, topK int) (Result, error) {
 		e := oldest.Value.(*cacheEntry)
 		delete(c.entries, fmt.Sprintf("%d\x00%s", e.topK, e.query))
 	}
-	return res, nil
+	return res
 }
 
 // Fetch passes through uncached (documents are fetched once during

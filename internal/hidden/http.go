@@ -1,6 +1,7 @@
 package hidden
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html"
@@ -197,24 +198,44 @@ func NewClient(name, baseURL string) *Client {
 // Name implements Database.
 func (c *Client) Name() string { return c.name }
 
+// maxResponseBytes bounds how much of any HTTP response body is read,
+// protecting the metasearcher from a misbehaving backend streaming an
+// unbounded answer page or document.
+const maxResponseBytes = 4 << 20
+
+// errBodySnippet is how much of a non-200 response body is surfaced in
+// the error message; real Hidden-Web sources put the useful diagnostic
+// ("rate limit exceeded", "maintenance window") in the first line.
+const errBodySnippet = 256
+
+// truncateForError trims a response body for inclusion in an error.
+func truncateForError(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > errBodySnippet {
+		s = s[:errBodySnippet] + "..."
+	}
+	return s
+}
+
 // Search implements Database over HTTP.
 func (c *Client) Search(query string, topK int) (Result, error) {
+	return c.SearchContext(context.Background(), query, topK)
+}
+
+// SearchContext implements ContextDatabase: the context rides the wire
+// request, so deadlines and cancellation abort the round trip itself.
+func (c *Client) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
 	format := "json"
 	if c.UseHTML {
 		format = "html"
 	}
 	u := fmt.Sprintf("%s/search?q=%s&k=%d&format=%s", c.baseURL, url.QueryEscape(query), topK, format)
-	resp, err := c.HTTP.Get(u)
+	body, status, err := c.get(ctx, u)
 	if err != nil {
-		return Result{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.name, err)
+		return Result{}, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, c.name, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return Result{}, fmt.Errorf("%w: %s: HTTP %d: %s", ErrUnavailable, c.name, resp.StatusCode, strings.TrimSpace(string(body)))
+	if status != http.StatusOK {
+		return Result{}, fmt.Errorf("%w: %s: HTTP %d: %s", ErrUnavailable, c.name, status, truncateForError(body))
 	}
 	if c.UseHTML {
 		return parseHTMLAnswerPage(string(body))
@@ -224,20 +245,39 @@ func (c *Client) Search(query string, topK int) (Result, error) {
 
 // Fetch implements Fetcher over HTTP.
 func (c *Client) Fetch(id string) (string, error) {
+	return c.FetchContext(context.Background(), id)
+}
+
+// FetchContext implements ContextFetcher over HTTP.
+func (c *Client) FetchContext(ctx context.Context, id string) (string, error) {
 	u := fmt.Sprintf("%s/doc?id=%s", c.baseURL, url.QueryEscape(id))
-	resp, err := c.HTTP.Get(u)
+	body, status, err := c.get(ctx, u)
 	if err != nil {
-		return "", fmt.Errorf("%w: %s: %v", ErrUnavailable, c.name, err)
+		return "", err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return "", fmt.Errorf("%w: %s: reading document: %v", ErrUnavailable, c.name, err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("hidden: %s: fetching %q: HTTP %d", c.name, id, resp.StatusCode)
+	if status != http.StatusOK {
+		return "", fmt.Errorf("hidden: %s: fetching %q: HTTP %d: %s", c.name, id, status, truncateForError(body))
 	}
 	return string(body), nil
+}
+
+// get performs one bounded GET under ctx, returning the (limited) body
+// and status code. Transport-level failures wrap ErrUnavailable.
+func (c *Client) get(ctx context.Context, u string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hidden: %s: %v", c.name, err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, c.name, err)
+	}
+	return body, resp.StatusCode, nil
 }
 
 func (c *Client) decodeJSON(body []byte) (Result, error) {

@@ -1,6 +1,7 @@
 package hidden
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -108,6 +109,20 @@ func (n *Instrumented) Unwrap() Database { return n.db }
 func (n *Instrumented) Search(query string, topK int) (Result, error) {
 	start := time.Now()
 	res, err := n.db.Search(query, topK)
+	n.searchLat.Observe(time.Since(start).Seconds())
+	n.searches.Inc()
+	if err != nil {
+		n.searchErrs.Inc()
+	}
+	return res, err
+}
+
+// SearchContext implements ContextDatabase with the same accounting:
+// cancelled and timed-out probes count as search errors, so hedging
+// and breaker decisions stay visible per database.
+func (n *Instrumented) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	start := time.Now()
+	res, err := SearchContext(ctx, n.db, query, topK)
 	n.searchLat.Observe(time.Since(start).Seconds())
 	n.searches.Inc()
 	if err != nil {

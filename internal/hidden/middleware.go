@@ -1,8 +1,10 @@
 package hidden
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -52,24 +54,45 @@ func NewRateLimited(db Database, interval time.Duration) *RateLimited {
 // Name implements Database.
 func (r *RateLimited) Name() string { return r.db.Name() }
 
-// Search implements Database, delaying as needed to honor the interval.
-func (r *RateLimited) Search(query string, topK int) (Result, error) {
+// reserve claims the next politeness slot and returns how long the
+// caller must wait before using it.
+func (r *RateLimited) reserve() time.Duration {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.now()
 	wait := r.next.Sub(now)
 	if wait < 0 {
 		wait = 0
 	}
-	start := now.Add(wait)
-	r.next = start.Add(r.interval)
-	r.mu.Unlock()
-	if wait > 0 {
+	r.next = now.Add(wait).Add(r.interval)
+	return wait
+}
+
+// Search implements Database, delaying as needed to honor the interval.
+func (r *RateLimited) Search(query string, topK int) (Result, error) {
+	if wait := r.reserve(); wait > 0 {
 		if r.OnWait != nil {
 			r.OnWait(wait)
 		}
 		r.sleep(wait)
 	}
 	return r.db.Search(query, topK)
+}
+
+// SearchContext implements ContextDatabase: the politeness delay itself
+// is interruptible, so a cancelled probe stops waiting immediately (its
+// reserved slot goes unused — the interval to the next search still
+// holds).
+func (r *RateLimited) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	if wait := r.reserve(); wait > 0 {
+		if r.OnWait != nil {
+			r.OnWait(wait)
+		}
+		if err := sleepContext(ctx, wait); err != nil {
+			return Result{}, fmt.Errorf("hidden: %s: %w", r.db.Name(), err)
+		}
+	}
+	return SearchContext(ctx, r.db, query, topK)
 }
 
 // Unwrap returns the wrapped database (the middleware-chain walker
@@ -93,13 +116,29 @@ func (r *RateLimited) Size() int {
 	return 0
 }
 
+// defaultMaxBackoff caps the exponential backoff doubling when
+// Retry.MaxBackoff is unset. Without a ceiling, delay *= 2 grows
+// unbounded: after a long outage the next retry could be scheduled
+// hours out.
+const defaultMaxBackoff = 30 * time.Second
+
 // Retry wraps a database with bounded retries and exponential backoff
 // on ErrUnavailable (transient failures); other errors — malformed
 // pages, protocol violations — fail immediately.
+//
+// The backoff ceiling is capped (MaxBackoff) and the actual delay
+// drawn uniformly from [0, ceiling] ("full jitter"): many clients
+// whose retries were synchronized by one outage would otherwise all
+// sleep the same deterministic schedule and storm the recovering
+// backend in lockstep.
 type Retry struct {
 	db       Database
 	attempts int
 	backoff  time.Duration
+
+	// MaxBackoff caps the doubling backoff ceiling (default 30 s).
+	// Set it before the wrapper is shared between goroutines.
+	MaxBackoff time.Duration
 
 	// OnRetry, when set, observes every retried attempt (called once
 	// per backoff, with the error that triggered it). Set it before
@@ -109,15 +148,43 @@ type Retry struct {
 
 	// sleep is replaceable in tests.
 	sleep func(time.Duration)
+	// jitter draws the actual delay from a ceiling; replaceable in
+	// tests (the default is full jitter: uniform in [0, d]).
+	jitter func(d time.Duration) time.Duration
 }
 
 // NewRetry wraps db; attempts is the total number of tries (≥ 1) and
-// backoff the initial delay, doubling per retry.
+// backoff the initial delay, doubling per retry up to MaxBackoff.
 func NewRetry(db Database, attempts int, backoff time.Duration) *Retry {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Retry{db: db, attempts: attempts, backoff: backoff, sleep: time.Sleep}
+	return &Retry{db: db, attempts: attempts, backoff: backoff, sleep: time.Sleep, jitter: fullJitter}
+}
+
+// fullJitter returns a uniformly random duration in [0, d].
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// nextDelay returns the jittered sleep for the current backoff ceiling
+// and the (capped) ceiling for the retry after it.
+func (r *Retry) nextDelay(ceiling time.Duration) (sleep, next time.Duration) {
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	if ceiling > max {
+		ceiling = max
+	}
+	next = ceiling * 2
+	if next > max {
+		next = max
+	}
+	return r.jitter(ceiling), next
 }
 
 // Name implements Database.
@@ -135,14 +202,43 @@ func (r *Retry) Search(query string, topK int) (Result, error) {
 			if r.OnRetry != nil {
 				r.OnRetry(lastErr)
 			}
-			r.sleep(delay)
-			delay *= 2
+			var sleep time.Duration
+			sleep, delay = r.nextDelay(delay)
+			r.sleep(sleep)
 		}
 		res, err := r.db.Search(query, topK)
 		if err == nil {
 			return res, nil
 		}
 		if !errors.Is(err, ErrUnavailable) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("hidden: %s failed after %d attempts: %w", r.db.Name(), r.attempts, lastErr)
+}
+
+// SearchContext implements ContextDatabase: backoff sleeps abort on
+// cancellation and the context reaches the wrapped database.
+func (r *Retry) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	delay := r.backoff
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			if r.OnRetry != nil {
+				r.OnRetry(lastErr)
+			}
+			var sleep time.Duration
+			sleep, delay = r.nextDelay(delay)
+			if err := sleepContext(ctx, sleep); err != nil {
+				return Result{}, fmt.Errorf("hidden: %s: %w", r.db.Name(), err)
+			}
+		}
+		res, err := SearchContext(ctx, r.db, query, topK)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrUnavailable) || ctx.Err() != nil {
 			return Result{}, err
 		}
 		lastErr = err
@@ -163,8 +259,9 @@ func (r *Retry) Fetch(id string) (string, error) {
 			if r.OnRetry != nil {
 				r.OnRetry(lastErr)
 			}
-			r.sleep(delay)
-			delay *= 2
+			var sleep time.Duration
+			sleep, delay = r.nextDelay(delay)
+			r.sleep(sleep)
 		}
 		text, err := f.Fetch(id)
 		if err == nil {
@@ -211,6 +308,17 @@ func (l *Latency) Unwrap() Database { return l.db }
 func (l *Latency) Search(query string, topK int) (Result, error) {
 	l.sleep(l.delay)
 	return l.db.Search(query, topK)
+}
+
+// SearchContext implements ContextDatabase: the injected delay is
+// interruptible, so cancelled hedges and abandoned speculative probes
+// return immediately — exactly the behavior of a real remote round
+// trip aborted mid-flight.
+func (l *Latency) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	if err := sleepContext(ctx, l.delay); err != nil {
+		return Result{}, fmt.Errorf("hidden: %s: %w", l.db.Name(), err)
+	}
+	return SearchContext(ctx, l.db, query, topK)
 }
 
 // Size passes through when available.

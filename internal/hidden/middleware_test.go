@@ -85,6 +85,8 @@ func TestRetryRecoversFromTransientFailures(t *testing.T) {
 	r := NewRetry(f, 4, time.Millisecond)
 	var slept []time.Duration
 	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	// Pin jitter to the ceiling so the doubling schedule is observable.
+	r.jitter = func(d time.Duration) time.Duration { return d }
 
 	res, err := r.Search("q", 0)
 	if err != nil {
@@ -99,6 +101,56 @@ func TestRetryRecoversFromTransientFailures(t *testing.T) {
 	// Exponential backoff: 1ms then 2ms.
 	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
 		t.Errorf("backoff = %v", slept)
+	}
+}
+
+func TestRetryBackoffIsCappedAndJittered(t *testing.T) {
+	f := &flaky{name: "f", failUntil: 100}
+	r := NewRetry(f, 6, 10*time.Second)
+	r.MaxBackoff = 15 * time.Second
+	var ceilings []time.Duration
+	// Record the pre-jitter ceilings the schedule produces.
+	r.jitter = func(d time.Duration) time.Duration { ceilings = append(ceilings, d); return d / 2 }
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, err := r.Search("q", 0); err == nil {
+		t.Fatal("want failure after exhausting retries")
+	}
+	// 10s, then capped at 15s forever — never 20s, 40s, ...
+	want := []time.Duration{10 * time.Second, 15 * time.Second, 15 * time.Second, 15 * time.Second, 15 * time.Second}
+	if len(ceilings) != len(want) {
+		t.Fatalf("ceilings = %v", ceilings)
+	}
+	for i, c := range ceilings {
+		if c != want[i] {
+			t.Errorf("ceiling %d = %v, want %v", i, c, want[i])
+		}
+	}
+	// The slept durations are what jitter returned, not the ceilings.
+	for i, d := range slept {
+		if d != ceilings[i]/2 {
+			t.Errorf("slept %v, want jittered %v", d, ceilings[i]/2)
+		}
+	}
+}
+
+func TestRetryDefaultJitterStaysWithinCeiling(t *testing.T) {
+	f := &flaky{name: "f", failUntil: 100}
+	r := NewRetry(f, 5, 8*time.Millisecond)
+	var slept []time.Duration
+	r.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if _, err := r.Search("q", 0); err == nil {
+		t.Fatal("want failure")
+	}
+	ceil := 8 * time.Millisecond
+	for _, d := range slept {
+		if d < 0 || d > ceil {
+			t.Errorf("jittered delay %v outside [0, %v]", d, ceil)
+		}
+		if ceil < defaultMaxBackoff {
+			ceil *= 2
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package hidden
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,12 @@ func (c *Counting) Unwrap() Database { return c.db }
 func (c *Counting) Search(query string, topK int) (Result, error) {
 	c.searches.Add(1)
 	return c.db.Search(query, topK)
+}
+
+// SearchContext implements ContextDatabase with the same accounting.
+func (c *Counting) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	c.searches.Add(1)
+	return SearchContext(ctx, c.db, query, topK)
 }
 
 // Size passes through when the wrapped database exports its size.
@@ -90,6 +97,16 @@ func (f *FailEvery) Search(query string, topK int) (Result, error) {
 		return Result{}, fmt.Errorf("%w: injected failure on call %d to %s", ErrUnavailable, c, f.db.Name())
 	}
 	return f.db.Search(query, topK)
+}
+
+// SearchContext implements ContextDatabase with the same failure
+// schedule.
+func (f *FailEvery) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	c := f.calls.Add(1)
+	if f.n > 0 && c%f.n == 0 {
+		return Result{}, fmt.Errorf("%w: injected failure on call %d to %s", ErrUnavailable, c, f.db.Name())
+	}
+	return SearchContext(ctx, f.db, query, topK)
 }
 
 // Fetch passes through when the wrapped database supports fetching.

@@ -1,0 +1,196 @@
+package probeexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"metaprobe/internal/core"
+)
+
+// ProbeFunc issues the live probe to database i under ctx.
+type ProbeFunc func(ctx context.Context, i int) (float64, error)
+
+// Result is the outcome of a context-aware APro run. Backend failures
+// do not fail the selection: a database whose probe failed (or whose
+// circuit breaker rejected the probe) is treated as serving nothing
+// for this query — its RD collapses to relevancy zero, pushing it out
+// of the best set whenever a live alternative exists — and the
+// selection over the remaining databases is returned with Degraded
+// set.
+type Result struct {
+	core.Outcome
+	// Degraded reports that one or more backends were excluded
+	// (probe failure or open circuit breaker), so the selection was
+	// computed over a reduced testbed.
+	Degraded bool
+	// Excluded lists the excluded database indices, ascending.
+	Excluded []int
+}
+
+// APro runs the adaptive probing loop (paper Figure 11) through the
+// executor, with speculative prefetch. Every iteration folds exactly
+// the database the policy picks — the paper's sequential trajectory,
+// byte for byte, at any Speculation level — but when Speculation > 1
+// and the policy implements core.Ranker, probes for the next
+// lower-ranked candidates are dispatched in the background. If a later
+// iteration picks a prefetched database its result is already in
+// flight (or done), hiding that probe's latency; prefetches the policy
+// never picks are cancelled when the selection finishes and counted as
+// speculative waste. With Speculation ≤ 1 — or a policy that is not a
+// Ranker — no prefetch happens and the loop is exactly the sequential
+// algorithm.
+//
+// name maps a database index to the backend name used for breaker and
+// per-backend pool accounting. The returned error is reserved for bad
+// arguments, policy failures and caller cancellation; probe failures
+// degrade the result instead (see Result).
+func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int) string, probe ProbeFunc, policy core.Policy, t float64, maxProbes int) (Result, error) {
+	if t < 0 || t > 1 {
+		return Result{}, fmt.Errorf("probeexec: certainty threshold %v outside [0,1]", t)
+	}
+	if probe == nil || policy == nil || name == nil {
+		return Result{}, fmt.Errorf("probeexec: APro needs a probe function, a policy and a name mapping")
+	}
+	m := e.cfg.Speculation
+	if m < 1 {
+		m = 1
+	}
+	ranker, _ := policy.(core.Ranker)
+
+	var res Result
+	out := &res.Outcome
+	var excluded []int
+
+	// Speculative prefetches run under one context for the whole
+	// selection. finish cancels and drains them, so every probe has
+	// returned — and its pool slot is released — before APro does.
+	type probeResult struct {
+		v   float64
+		err error
+	}
+	specCtx, cancelSpec := context.WithCancel(ctx)
+	pending := make(map[int]chan probeResult)
+	dispatch := func(i int) {
+		ch := make(chan probeResult, 1)
+		pending[i] = ch
+		go func() {
+			v, err := e.Probe(specCtx, name(i), func(c context.Context) (float64, error) {
+				return probe(c, i)
+			})
+			ch <- probeResult{v: v, err: err}
+		}()
+	}
+	finish := func() Result {
+		cancelSpec()
+		for _, ch := range pending {
+			<-ch
+			e.specWaste.Inc()
+		}
+		if len(excluded) > 0 {
+			res.Degraded = true
+			sort.Ints(excluded)
+			res.Excluded = excluded
+		}
+		return res
+	}
+
+	first := true
+	for {
+		set, cur := s.Best()
+		out.Set, out.Certainty = set, cur
+		if first {
+			out.Initial = cur
+			first = false
+		} else if n := len(out.Steps); n > 0 {
+			out.Steps[n-1].CertaintyAfter = cur
+		}
+		if cur >= t {
+			out.Reached = true
+			if res.Degraded = len(excluded) > 0; res.Degraded {
+				e.degraded.Inc()
+			}
+			return finish(), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return finish(), fmt.Errorf("probeexec: selection abandoned: %w", err)
+		}
+		if len(s.Unprobed()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
+			if len(excluded) > 0 {
+				e.degraded.Inc()
+			}
+			return finish(), nil
+		}
+
+		// SelectDb: the head of the ranking is this iteration's probe —
+		// exactly the choice the sequential loop would make through the
+		// same policy. The tail (requires a Ranker) is only prefetched.
+		var cands []int
+		useful := make(map[int]float64)
+		if m == 1 || ranker == nil {
+			i, err := policy.Next(s, t)
+			if err != nil {
+				return finish(), fmt.Errorf("probeexec: probe policy %s: %w", policy.Name(), err)
+			}
+			if s.Probed(i) {
+				return finish(), fmt.Errorf("probeexec: policy %s chose already-probed database %d", policy.Name(), i)
+			}
+			cands = []int{i}
+			if ur, ok := policy.(core.UsefulnessReporter); ok {
+				useful[i] = ur.LastUsefulness()
+			}
+		} else {
+			dbs, us, err := ranker.Rank(s, t, m)
+			if err != nil {
+				return finish(), fmt.Errorf("probeexec: probe policy %s: %w", policy.Name(), err)
+			}
+			for idx, i := range dbs {
+				if s.Probed(i) {
+					return finish(), fmt.Errorf("probeexec: policy %s ranked already-probed database %d", policy.Name(), i)
+				}
+				useful[i] = us[idx]
+			}
+			cands = dbs
+		}
+		if maxProbes >= 0 {
+			if remaining := maxProbes - out.Probes(); len(cands) > remaining {
+				cands = cands[:remaining]
+			}
+		}
+
+		// Dispatch this iteration's probe plus any prefetch candidates
+		// not already in flight; only this goroutine touches s. A probe
+		// prefetched in an earlier iteration and picked now folds from
+		// its pending channel — its latency already (partly) paid.
+		for _, i := range cands {
+			if _, ok := pending[i]; !ok {
+				dispatch(i)
+			}
+		}
+		head := cands[0]
+		r := <-pending[head]
+		delete(pending, head)
+		if r.err != nil {
+			if ctx.Err() != nil {
+				return finish(), fmt.Errorf("probeexec: selection abandoned: %w", ctx.Err())
+			}
+			// Degrade: an unreachable backend serves nothing for this
+			// query, so its effective relevancy is zero — collapsing
+			// the RD pushes it out of the best set whenever a live
+			// alternative exists (unlike core.APro's best-effort,
+			// which keeps the estimated RD of failed databases).
+			s.ApplyProbe(head, 0)
+			excluded = append(excluded, head)
+		} else {
+			s.ApplyProbe(head, r.v)
+		}
+		_, after := s.Best()
+		out.Steps = append(out.Steps, core.ProbeStep{
+			DB: head, Value: r.v, Err: r.err, Usefulness: useful[head], CertaintyAfter: after,
+		})
+	}
+}
+
+// IsBreakerOpen reports whether err is (or wraps) a breaker rejection.
+func IsBreakerOpen(err error) bool { return errors.Is(err, ErrBreakerOpen) }

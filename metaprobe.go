@@ -33,10 +33,12 @@
 package metaprobe
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +48,7 @@ import (
 	"metaprobe/internal/fusion"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/probeexec"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 	"metaprobe/internal/summary"
@@ -97,6 +100,15 @@ type (
 	DriftAlert = obs.DriftAlert
 	// DriftStatus is the state of one monitored (database, query type).
 	DriftStatus = obs.DriftStatus
+	// ProbeLimits bounds probe concurrency for the context-aware
+	// selection paths. See Config.ProbeConcurrency.
+	ProbeLimits = probeexec.Limits
+	// BreakerConfig tunes the per-backend circuit breakers guarding
+	// live probes. See Config.Breaker.
+	BreakerConfig = probeexec.BreakerConfig
+	// BreakerState is a backend circuit breaker's state (closed,
+	// half-open or open), surfaced through the mp_breaker_state metric.
+	BreakerState = probeexec.BreakerState
 )
 
 // NewMetrics returns an empty metrics registry for Config.Metrics.
@@ -180,6 +192,35 @@ type Config struct {
 	// closed online). Implementations should be fast and debounce: a
 	// persistently drifted key re-alerts every Drift.Interval probes.
 	OnDrift func(DriftAlert)
+	// ProbeConcurrency bounds the probes in flight on the context-aware
+	// selection paths (SelectWithCertaintyContext and friends): a
+	// global cap shared by every concurrent selection, plus an optional
+	// per-backend cap. The zero value defaults to 16 global, unlimited
+	// per backend. The context-free paths probe strictly sequentially
+	// and ignore it.
+	ProbeConcurrency ProbeLimits
+	// Speculation is the number of policy candidates each adaptive-
+	// probing round dispatches concurrently on the context-aware paths.
+	// 0 or 1 — the default — reproduces the paper's sequential greedy
+	// loop exactly (same probe sequence, same certainty trajectory);
+	// higher values trade extra probes for wall-clock latency on slow
+	// backends.
+	Speculation int
+	// HedgeAfter, when positive, launches a second attempt for any
+	// context-aware probe that has not answered after this delay; the
+	// first answer wins and the loser is cancelled. Effective against
+	// tail latency; 0 disables hedging.
+	HedgeAfter time.Duration
+	// ProbeTimeout caps each context-aware probe (hedge included) end
+	// to end; a timed-out probe counts as a backend failure. 0 leaves
+	// probes bounded only by the caller's context.
+	ProbeTimeout time.Duration
+	// Breaker tunes the per-backend circuit breakers on the context-
+	// aware paths: consecutive failures open a backend's breaker, and
+	// while open its probes are skipped (the selection degrades
+	// gracefully instead of waiting on a dead backend). The zero value
+	// opens after 5 consecutive failures with a 30s cooldown.
+	Breaker BreakerConfig
 }
 
 // DocFrequencyRelevancy returns the paper's default relevancy: number
@@ -206,6 +247,15 @@ type Metasearcher struct {
 	// drift is the online ED drift detector, built from cfg.Drift once
 	// a model exists (nil when disabled or untrained).
 	drift *obs.DriftDetector
+	// exec runs context-aware probes: worker pool, circuit breakers,
+	// hedging, speculative rounds (internal/probeexec).
+	exec *probeexec.Executor
+	// modelMu serializes access to the trained model's mutable state:
+	// Model.ObserveProbe (online refinement) mutates the ED histograms
+	// that NewSelection and the drift detector read, so concurrent
+	// selections — and one selection's speculative probes — must take
+	// this lock around any model read or write after training.
+	modelMu sync.Mutex
 	// selSeq numbers selections for trace/log correlation IDs.
 	selSeq atomic.Int64
 }
@@ -247,6 +297,14 @@ func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
 		sums: &summary.Set{Summaries: sums},
 		rel:  c.Relevancy,
 		cfg:  c,
+		exec: probeexec.NewExecutor(probeexec.Config{
+			Limits:       c.ProbeConcurrency,
+			Speculation:  c.Speculation,
+			HedgeAfter:   c.HedgeAfter,
+			ProbeTimeout: c.ProbeTimeout,
+			Breaker:      c.Breaker,
+			Metrics:      c.Metrics,
+		}),
 	}, nil
 }
 
@@ -366,6 +424,15 @@ type SelectionResult struct {
 	Probes int
 	// Reached reports whether the requested certainty was met.
 	Reached bool
+	// Degraded reports that one or more backends were excluded from
+	// the selection (probe failure or open circuit breaker), so the
+	// answer was computed over a reduced testbed. Only the context-
+	// aware selection paths degrade; the context-free paths leave it
+	// false.
+	Degraded bool
+	// ExcludedDBs names the excluded backends (testbed order) when
+	// Degraded is set.
+	ExcludedDBs []string
 }
 
 // SelectWithCertainty runs the paper's APro algorithm: select k
@@ -393,13 +460,8 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	probe := func(i int) (float64, error) {
 		v, err := m.rel.Probe(m.tb.DB(i), query)
 		if err == nil {
-			if m.cfg.OnlineRefinement {
-				if oerr := m.model.ObserveProbe(i, query, numTerms, v); oerr != nil {
-					return 0, oerr
-				}
-			}
-			if m.drift != nil {
-				m.observeDrift(sel, i, numTerms, v)
+			if ferr := m.probeFeedback(sel, i, query, numTerms, v); ferr != nil {
+				return 0, ferr
 			}
 		}
 		return v, err
@@ -416,6 +478,88 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 		Certainty: out.Certainty,
 		Probes:    out.Probes(),
 		Reached:   out.Reached,
+	}, nil
+}
+
+// probeFeedback folds one successful live probe back into the shared
+// model state (online refinement, drift detection). Both selection
+// paths route through it; probeMu makes the feedback safe when many
+// selections — or one selection's speculative probes — land
+// concurrently, since Model.ObserveProbe mutates histograms the drift
+// detector also reads.
+func (m *Metasearcher) probeFeedback(sel *core.Selection, i int, query string, numTerms int, v float64) error {
+	if !m.cfg.OnlineRefinement && m.drift == nil {
+		return nil
+	}
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	if m.cfg.OnlineRefinement {
+		if err := m.model.ObserveProbe(i, query, numTerms, v); err != nil {
+			return err
+		}
+	}
+	if m.drift != nil {
+		m.observeDrift(sel, i, numTerms, v)
+	}
+	return nil
+}
+
+// SelectWithCertaintyContext is SelectWithCertainty bounded by ctx and
+// executed through the probe-execution engine: probes run under the
+// configured concurrency limits, circuit breakers and hedging
+// (Config.ProbeConcurrency, Breaker, HedgeAfter), and with
+// Config.Speculation > 1 each probing round dispatches several policy
+// candidates concurrently. Cancelling ctx abandons the selection.
+//
+// Failures degrade instead of erroring: a backend whose probe fails —
+// or whose breaker is open — is treated as serving nothing for this
+// query and excluded, and the result reports Degraded/ExcludedDBs.
+// With Speculation ≤ 1 and no failures, the result is identical to
+// SelectWithCertainty's.
+func (m *Metasearcher) SelectWithCertaintyContext(ctx context.Context, query string, k int, metric Metric, t float64, maxProbes int) (*SelectionResult, error) {
+	return m.selectWithPolicyContext(ctx, query, k, metric, t, maxProbes, &core.Greedy{})
+}
+
+// SelectWithPolicyContext is SelectWithCertaintyContext with a custom
+// probe policy. Policies implementing the internal Ranker interface
+// (the greedy policy does) support speculative rounds; others fall
+// back to sequential probing regardless of Config.Speculation.
+func (m *Metasearcher) SelectWithPolicyContext(ctx context.Context, query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
+	return m.selectWithPolicyContext(ctx, query, k, metric, t, maxProbes, policy)
+}
+
+func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
+	start := m.obsNow()
+	sel, err := m.selection(query, metric, k)
+	if err != nil {
+		return nil, err
+	}
+	numTerms := len(strings.Fields(query))
+	probe := func(ctx context.Context, i int) (float64, error) {
+		// The bound-context view routes the relevancy prober's searches
+		// through SearchContext, so cancellation reaches the wire.
+		v, err := m.rel.Probe(hidden.WithContext(ctx, m.tb.DB(i)), query)
+		if err == nil {
+			if ferr := m.probeFeedback(sel, i, query, numTerms, v); ferr != nil {
+				return 0, ferr
+			}
+		}
+		return v, err
+	}
+	res, err := m.exec.APro(ctx, sel, func(i int) string { return m.tb.DB(i).Name() }, probe, policy, t, maxProbes)
+	if err != nil {
+		return nil, fmt.Errorf("metaprobe: %w", err)
+	}
+	id := m.nextSelectionID()
+	m.observe(id, query, metric, t, sel, res.Outcome, start)
+	return &SelectionResult{
+		ID:          id,
+		Databases:   m.names(res.Set),
+		Certainty:   res.Certainty,
+		Probes:      res.Probes(),
+		Reached:     res.Reached,
+		Degraded:    res.Degraded,
+		ExcludedDBs: m.names(res.Excluded),
 	}, nil
 }
 
@@ -599,7 +743,13 @@ func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Sele
 		return nil, fmt.Errorf("metaprobe: k=%d outside [1, %d]", k, m.tb.Len())
 	}
 	numTerms := len(strings.Fields(query))
+	// NewSelection reads the ED histograms that online refinement
+	// mutates; the lock makes selection building safe against probe
+	// feedback from concurrent selections. The returned Selection owns
+	// its RDs, so it needs no further synchronization.
+	m.modelMu.Lock()
 	sel := m.model.NewSelection(query, numTerms, metric, k)
+	m.modelMu.Unlock()
 	return sel.WithBestSetOptions(m.cfg.BestSet), nil
 }
 

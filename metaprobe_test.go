@@ -15,6 +15,13 @@ import (
 // buildTestMetasearcher wires 6 generated health databases through the
 // public API with a trained error model.
 func buildTestMetasearcher(t testing.TB) (*Metasearcher, []string) {
+	return buildTestMetasearcherWith(t, nil, nil)
+}
+
+// buildTestMetasearcherWith is buildTestMetasearcher with a custom
+// Config and an optional per-database wrapper (applied after summaries
+// are built, so summaries always reflect the unwrapped content).
+func buildTestMetasearcherWith(t testing.TB, cfg *Config, wrap func(i int, db Database) Database) (*Metasearcher, []string) {
 	t.Helper()
 	world := corpus.HealthWorld()
 	specs := corpus.HealthTestbed(0.01)[:6]
@@ -30,7 +37,12 @@ func buildTestMetasearcher(t testing.TB) (*Metasearcher, []string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := New(dbs, sums, nil)
+	if wrap != nil {
+		for i := range dbs {
+			dbs[i] = wrap(i, dbs[i])
+		}
+	}
+	ms, err := New(dbs, sums, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
