@@ -13,14 +13,20 @@
 //	    [-scale 0.02] [-queries 200] [-k 3] [-t 0.9] [-seed 2004]
 //	go run ./cmd/bench -smoke -label ci    # CI-sized run, health preset only
 //
-// Each preset runs five selection tiers over one workload: baseline
+// Each preset runs seven selection tiers over one workload: baseline
 // (term-independence top-k), rd (probabilistic, no probing), apro
-// (adaptive probing to the certainty threshold), and two context-aware
+// (adaptive probing to the certainty threshold), two context-aware
 // tiers on a latency-injected copy of the testbed — apro-ctx-m1
 // (sequential, through the probe-execution engine) and apro-ctx-m2
-// (speculation 2, two candidates probed concurrently per round) — so
-// the report tracks the wall-clock effect of speculative probing along
-// with probes-in-flight and degraded-selection counts.
+// (speculation 2, two candidates probed concurrently per round) — and
+// two drift tiers that grow one database ~20× mid-run and measure
+// RD-based selection against a rebuilt golden standard, first with the
+// stale model served as-is (drift-stale), then after the online
+// refresher has detected the drift and hot-swapped retrained error
+// distributions (drift-refreshed). The report therefore tracks the
+// wall-clock effect of speculative probing, probes-in-flight and
+// degraded-selection counts, and what the closed drift loop buys back
+// in correctness.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"metaprobe/internal/obs"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
+	"metaprobe/internal/textindex"
 )
 
 // benchConfig parameterizes one harness run.
@@ -86,6 +93,9 @@ type workloadResult struct {
 	// SpeedupVsM1 is the m1 tier's mean latency divided by this tier's
 	// (set on apro-ctx-m2 only): > 1 means speculation bought wall-clock.
 	SpeedupVsM1 float64 `json:"speedup_vs_m1,omitempty"`
+	// Refreshes counts accepted online model refreshes before the
+	// measurement (drift-refreshed tier only).
+	Refreshes int64 `json:"refreshes,omitempty"`
 }
 
 // benchReport is the BENCH_<label>.json document.
@@ -181,6 +191,8 @@ func runBench(cfg benchConfig, log *slog.Logger) (string, error) {
 type presetEnv struct {
 	ms       *metaprobe.Metasearcher
 	tb       *hidden.Testbed
+	world    *corpus.World
+	specs    []corpus.DatabaseSpec
 	workload []queries.Query
 	golden   []eval.Golden
 }
@@ -239,7 +251,7 @@ func buildPreset(preset string, cfg benchConfig, log *slog.Logger) (*presetEnv, 
 	if err != nil {
 		return nil, err
 	}
-	return &presetEnv{ms: ms, tb: tb, workload: test, golden: golden}, nil
+	return &presetEnv{ms: ms, tb: tb, world: world, specs: specs, workload: test, golden: golden}, nil
 }
 
 // answer is one workload query's outcome, scored later against golden.
@@ -295,7 +307,14 @@ func runPreset(preset string, cfg benchConfig, log *slog.Logger) ([]workloadResu
 	if err != nil {
 		return nil, err
 	}
-	return append(out, ctxResults...), nil
+	out = append(out, ctxResults...)
+	// The drift tiers mutate the testbed in place, so they must run
+	// after every other tier.
+	driftResults, err := runDriftTiers(preset, cfg, env, log)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, driftResults...), nil
 }
 
 // runContextTiers measures the context-aware engine on a latency-
@@ -344,6 +363,219 @@ func runContextTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.L
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// runDriftTiers measures what model staleness costs and what the
+// closed drift loop buys back. One database grows to ~20× its size
+// with documents from its own spec — same topic profile, ten times the
+// volume — the golden standard is rebuilt over the drifted corpus, and
+// RD-based selection (no probing, so the numbers isolate pure model
+// quality) is measured twice: with the stale model served as-is
+// (drift-stale), and after the online refresher has detected the drift
+// and hot-swapped retrained error distributions (drift-refreshed).
+//
+// The drifted database is chosen so the drift is visible to selection:
+// among databases large enough that the growth makes them the biggest
+// collection, the one appearing in the fewest pre-drift golden top-k
+// sets. Growing a database that already tops every answer set changes
+// nothing a selector can get wrong; growing one that was mostly absent
+// moves it INTO the true top-k, which the stale model misses and the
+// refreshed model recovers.
+func runDriftTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.Logger) ([]workloadResult, error) {
+	tmp, err := os.CreateTemp("", "metaprobe-bench-drift-model-*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	if err := env.ms.SaveModel(tmp.Name()); err != nil {
+		return nil, err
+	}
+
+	// Pick the drift database (see the function comment): least golden
+	// top-k membership among those that ×10 growth would make dominant.
+	maxSize := 0
+	for i := 0; i < env.tb.Len(); i++ {
+		if l, ok := env.tb.DB(i).(*hidden.Local); ok && l.Size() > maxSize {
+			maxSize = l.Size()
+		}
+	}
+	membership := make([]int, env.tb.Len())
+	for qi := range env.golden {
+		for _, i := range env.golden[qi].TopK(cfg.k) {
+			membership[i]++
+		}
+	}
+	idx := -1
+	for i := 0; i < env.tb.Len(); i++ {
+		l, ok := env.tb.DB(i).(*hidden.Local)
+		if !ok || l.Size()*20 <= maxSize {
+			continue
+		}
+		if idx < 0 || membership[i] < membership[idx] {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("bench: no database large enough to drift in preset %s", preset)
+	}
+	// Grow it in place; summaries and the saved model now describe a
+	// collection that no longer exists.
+	local := env.tb.DB(idx).(*hidden.Local)
+	spec := env.specs[idx]
+	spec.Name += "-grown"
+	spec.NumDocs = local.Size() * 19
+	log.Info("injecting corpus drift", "preset", preset, "db", local.Name(),
+		"docs_before", local.Size(), "docs_added", spec.NumDocs,
+		"golden_topk_hits_before", membership[idx], "queries", len(env.workload))
+	docs, err := env.world.Generate(spec, stats.NewRNG(cfg.seed).Fork(9))
+	if err != nil {
+		return nil, err
+	}
+	tok := textindex.DefaultTokenizer()
+	for _, d := range docs {
+		terms := make([]string, 0, len(d.Terms))
+		for _, term := range d.Terms {
+			terms = append(terms, tok.Tokenize(term)...)
+		}
+		local.Index().AddTerms(d.ID, terms)
+		local.StoreText(d.ID, d.Text())
+	}
+	golden, err := eval.BuildGolden(env.tb, metaprobe.DocFrequencyRelevancy(), env.workload)
+	if err != nil {
+		return nil, err
+	}
+
+	dbs := make([]metaprobe.Database, env.tb.Len())
+	for i := range dbs {
+		dbs[i] = env.tb.DB(i)
+	}
+	rdRun := func(ms *metaprobe.Metasearcher) func(q string) (answer, error) {
+		return func(q string) (answer, error) {
+			names, e, err := ms.Select(q, cfg.k, metaprobe.Absolute)
+			if err != nil {
+				return answer{}, err
+			}
+			return answer{set: indicesIn(env.tb, names), certainty: e, reached: true}, nil
+		}
+	}
+
+	// Tier 1: the stale model served unchanged over the drifted corpus.
+	staleMs, err := metaprobe.NewFromModel(dbs, tmp.Name(), nil)
+	if err != nil {
+		return nil, err
+	}
+	denv := &presetEnv{ms: staleMs, tb: env.tb, workload: env.workload, golden: golden}
+	log.Info("running workload", "preset", preset, "tier", "drift-stale", "queries", len(env.workload))
+	stale, err := denv.measure(preset, "drift-stale", true, cfg, rdRun(staleMs))
+	if err != nil {
+		return nil, err
+	}
+
+	// Tier 2: the same stale model, but with the drift loop closed —
+	// detection alerts the background refresher, which re-probes the
+	// drifted keys and hot-swaps retrained EDs before measurement.
+	gen, err := queries.NewGenerator(env.world, queries.Config{})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := gen.Pool(stats.NewRNG(cfg.seed).Fork(10), 400, 400)
+	if err != nil {
+		return nil, err
+	}
+	source := func(numTerms, n int) []string {
+		var out []string
+		for _, q := range pool {
+			if q.NumTerms() == numTerms {
+				out = append(out, q.String())
+				if len(out) >= n {
+					break
+				}
+			}
+		}
+		return out
+	}
+	// 32-sample windows arm slower than the drifted database's busiest
+	// key but give the KS test enough resolution that the injected
+	// drift's p-value sits orders of magnitude below alpha; testing
+	// every 8 observations keeps the sparser 3-term keys alerting
+	// within a few passes. False alarms on undrifted databases are
+	// statistically inevitable at this test cadence, but the hour-long
+	// refresh cooldown below bounds each one to a single no-op commit.
+	refreshedMs, err := metaprobe.NewFromModel(dbs, tmp.Name(), &metaprobe.Config{
+		Drift: &metaprobe.DriftConfig{WindowSize: 32, MinSamples: 32, Interval: 8},
+		Refresh: &metaprobe.RefreshConfig{
+			ProbeBudget: 128, MinProbes: 12,
+			// Longer than the whole drive loop: every alerted key
+			// commits exactly once, so the measured model is the same
+			// regardless of how alert timing interleaves with passes.
+			Cooldown: time.Hour,
+			Queries:  source,
+			Logger:   log,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer refreshedMs.Close()
+	// Drive the workload at certainty 1.0: the threshold is only reached
+	// once every database has been probed, so every database — including
+	// the drifted one, whose stale estimate is too low for any cheaper
+	// threshold to ever probe it — feeds the drift detector. Replay
+	// until the drifted database's first refresh commits, then a few
+	// more passes so its remaining (query type, band) keys — the drift
+	// hits 2- and 3-term, low- and zero-band estimates alike — alert and
+	// commit too (rolled-back attempts retry after the cooldown).
+	pass := func() error {
+		for _, q := range env.workload {
+			if _, err := refreshedMs.SelectWithCertainty(q.String(), cfg.k, metaprobe.Absolute, 1.0, -1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	deadline := time.Now().Add(180 * time.Second)
+	for time.Now().Before(deadline) && refreshedMs.ModelInfo().RefreshedAt[local.Name()].IsZero() {
+		if err := pass(); err != nil {
+			return nil, err
+		}
+	}
+	// Then drive to quiescence: with the hour-long cooldown each alerted
+	// key commits once, so once six consecutive passes commit nothing
+	// new, every key the detector can flag — the drifted database's
+	// sparser 3-term keys arm their 32-sample windows slowly — has been
+	// refreshed.
+	deadline = time.Now().Add(120 * time.Second)
+	for stable := 0; stable < 6 && time.Now().Before(deadline); {
+		before := refreshedMs.RefreshStats().Refreshes
+		if err := pass(); err != nil {
+			return nil, err
+		}
+		if refreshedMs.RefreshStats().Refreshes == before {
+			stable++
+		} else {
+			stable = 0
+		}
+	}
+	st := refreshedMs.RefreshStats()
+	info := refreshedMs.ModelInfo()
+	log.Info("drift loop closed", "preset", preset, "db", local.Name(),
+		"refreshes", st.Refreshes, "rollbacks", st.Rollbacks,
+		"refresh_probes", st.ProbesSpent, "model_version", info.Version)
+	denv.ms = refreshedMs
+	log.Info("running workload", "preset", preset, "tier", "drift-refreshed", "queries", len(env.workload))
+	refreshed, err := denv.measure(preset, "drift-refreshed", true, cfg, rdRun(refreshedMs))
+	if err != nil {
+		return nil, err
+	}
+	refreshed.Refreshes = st.Refreshes
+	return []workloadResult{stale, refreshed}, nil
+}
+
+// indicesIn maps database names to sorted testbed indices.
+func indicesIn(tb *hidden.Testbed, names []string) []int {
+	e := presetEnv{tb: tb}
+	return e.indices(names)
 }
 
 // buildCtxEnv reloads the trained model over a latency-injected view

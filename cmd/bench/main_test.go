@@ -33,8 +33,8 @@ func TestSmokeRun(t *testing.T) {
 	if rep.Label != "smoketest" || !rep.Smoke {
 		t.Errorf("report header = label %q smoke %v, want smoketest/true", rep.Label, rep.Smoke)
 	}
-	if len(rep.Workloads) != 5 {
-		t.Fatalf("got %d workloads, want 5 (baseline, rd, apro, apro-ctx-m1, apro-ctx-m2)", len(rep.Workloads))
+	if len(rep.Workloads) != 7 {
+		t.Fatalf("got %d workloads, want 7 (baseline, rd, apro, apro-ctx-m1, apro-ctx-m2, drift-stale, drift-refreshed)", len(rep.Workloads))
 	}
 	names := map[string]workloadResult{}
 	for _, w := range rep.Workloads {
@@ -52,7 +52,8 @@ func TestSmokeRun(t *testing.T) {
 			t.Errorf("workload %s correctness out of [0,1]: CorA=%v CorP=%v", w.Name, w.AvgCorA, w.AvgCorP)
 		}
 	}
-	for _, want := range []string{"baseline", "rd", "apro", "apro-ctx-m1", "apro-ctx-m2"} {
+	for _, want := range []string{"baseline", "rd", "apro", "apro-ctx-m1", "apro-ctx-m2",
+		"drift-stale", "drift-refreshed"} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing workload %q", want)
 		}
@@ -100,6 +101,35 @@ func TestSmokeRun(t *testing.T) {
 	}
 	if names["apro-ctx-m2"].InflightP99 < 1 {
 		t.Errorf("apro-ctx-m2 probe_inflight_p99 = %v, want ≥ 1", names["apro-ctx-m2"].InflightP99)
+	}
+	// The drift tiers close the loop: staleness must cost correctness
+	// against the post-drift golden standard relative to the pre-drift
+	// rd tier, the refresher must actually have committed, and the
+	// refreshed model must recover correctness above the drifted
+	// baseline.
+	stale, refreshed := names["drift-stale"], names["drift-refreshed"]
+	if stale.AvgCorP >= names["rd"].AvgCorP {
+		t.Errorf("drift-stale CorP %v did not drop below the pre-drift rd tier's %v",
+			stale.AvgCorP, names["rd"].AvgCorP)
+	}
+	if stale.Refreshes != 0 {
+		t.Errorf("drift-stale reports %d refreshes; it serves the stale model", stale.Refreshes)
+	}
+	if refreshed.Refreshes <= 0 {
+		t.Error("drift-refreshed tier measured without a single committed refresh")
+	}
+	if refreshed.AvgCorP <= stale.AvgCorP {
+		t.Errorf("drift-refreshed CorP %v did not recover above drift-stale's %v",
+			refreshed.AvgCorP, stale.AvgCorP)
+	}
+	if refreshed.AvgCorA < stale.AvgCorA {
+		t.Errorf("drift-refreshed CorA %v fell below drift-stale's %v",
+			refreshed.AvgCorA, stale.AvgCorA)
+	}
+	for _, tier := range []string{"drift-stale", "drift-refreshed"} {
+		if names[tier].ProbesPerQuery != 0 {
+			t.Errorf("%s is an RD-only tier but recorded probes", tier)
+		}
 	}
 }
 

@@ -20,8 +20,8 @@ import (
 // form, the fused results with snippets, the selection diagnostics
 // (which databases were chosen, at what certainty, with how many
 // probes), plus the operational endpoints /metrics (Prometheus text
-// format), /debug/trace and /debug/calibration (JSON), /debug/pprof,
-// and the /healthz + /readyz probes.
+// format), /debug/trace, /debug/calibration and /debug/model (JSON),
+// /debug/pprof, and the /healthz + /readyz probes.
 func web(args []string) {
 	fs := flag.NewFlagSet("web", flag.ExitOnError)
 	addr := fs.String("addr", ":8090", "listen address")
@@ -37,7 +37,7 @@ func web(args []string) {
 	}
 	logger.Info("serving the metasearch UI",
 		"addr", *addr,
-		"endpoints", "/metrics /debug/trace /debug/calibration /debug/pprof /healthz /readyz")
+		"endpoints", "/metrics /debug/trace /debug/calibration /debug/model /debug/pprof /healthz /readyz")
 	fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
 }
 
@@ -93,6 +93,28 @@ func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Me
 		env.caches = append(env.caches, webCache{name: tb.DB(i).Name(), cache: cached})
 		dbs[i] = metaprobe.InstrumentDatabase(cached, env.reg)
 	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	// A held-out workload-like pool feeds the online refresher's
+	// retraining probes (disjoint seed fork from the training pool).
+	refreshPool, err := gen.Pool(stats.NewRNG(seed).Fork(2), 400, 400)
+	if err != nil {
+		return nil, nil, err
+	}
+	refreshQueries := func(numTerms, n int) []string {
+		var out []string
+		for _, q := range refreshPool {
+			if q.NumTerms() == numTerms {
+				out = append(out, q.String())
+				if len(out) >= n {
+					break
+				}
+			}
+		}
+		return out
+	}
 	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{
 		Metrics: env.reg,
 		Tracer:  env.tracer,
@@ -102,11 +124,11 @@ func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Me
 				"db", a.DB, "type", a.QueryType,
 				"statistic", a.Statistic, "pvalue", a.PValue, "samples", a.Samples)
 		},
+		// Close the loop: drift alerts trigger background retraining of
+		// the affected error distributions with a hot model swap; follow
+		// it at /debug/model.
+		Refresh: &metaprobe.RefreshConfig{Queries: refreshQueries},
 	})
-	if err != nil {
-		return nil, nil, err
-	}
-	gen, err := queries.NewGenerator(world, queries.Config{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,6 +153,7 @@ func newWebMux(ms *metaprobe.Metasearcher, env *webEnv) *http.ServeMux {
 	mux.Handle("/metrics", obs.MetricsHandler(env.reg))
 	mux.Handle("/debug/trace", obs.TraceHandler(env.tracer))
 	mux.Handle("/debug/calibration", obs.CalibrationHandler(env.cal))
+	mux.Handle("/debug/model", obs.JSONHandler(func() any { return ms.ModelInfo() }))
 	mux.Handle("/healthz", obs.HealthzHandler())
 	mux.Handle("/readyz", obs.ReadyzHandler(ms.Trained))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -178,11 +201,12 @@ type webData struct {
 	Databases   []string
 	Caches      []cacheRow
 	Calibration *metaprobe.CalibrationSnapshot
+	Model       metaprobe.ModelInfo
 }
 
 // ServeHTTP implements http.Handler.
 func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	data := webData{K: 3, T: 0.9, Databases: u.ms.Databases()}
+	data := webData{K: 3, T: 0.9, Databases: u.ms.Databases(), Model: u.ms.ModelInfo()}
 	q := r.URL.Query().Get("q")
 	if kStr := r.URL.Query().Get("k"); kStr != "" {
 		if k, err := strconv.Atoi(kStr); err == nil && k >= 1 && k <= len(data.Databases) {
@@ -276,6 +300,9 @@ td, th { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; }
 <h1>metaprobe</h1>
 <p class="meta">probabilistic metasearch over {{len .Databases}} Hidden-Web databases
 (Liu, Luo, Cho, Chu — ICDE 2004)</p>
+{{if .Model.Trained}}<p class="meta">serving model v{{.Model.Version}} ({{.Model.Source}})
+{{- if .Model.Refresh}} · {{.Model.Refresh.Refreshes}} online refreshes, {{.Model.Refresh.Rollbacks}} rollbacks{{end}}
+· details at <a href="/debug/model">/debug/model</a></p>{{end}}
 <form method="GET" action="/">
 <input type="text" name="q" value="{{.Query}}" placeholder="breast cancer" autofocus>
 k=<input type="number" name="k" value="{{.K}}" min="1" style="width:3rem">

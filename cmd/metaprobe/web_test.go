@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"metaprobe"
 	"metaprobe/internal/obs"
 )
 
@@ -15,6 +16,7 @@ func TestWebUIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ms.Close()
 	srv := httptest.NewServer(newWebMux(ms, env))
 	defer srv.Close()
 
@@ -149,6 +151,27 @@ func TestWebUIEndToEnd(t *testing.T) {
 	}
 	if len(snap.Bins) == 0 {
 		t.Error("/debug/calibration has no bins")
+	}
+
+	// /debug/model reports the serving model version: trained once, so
+	// version 1 from "train", with the refresher counters present (the
+	// demo wires Config.Refresh).
+	var model metaprobe.ModelInfo
+	if err := json.Unmarshal([]byte(get(srv.URL+"/debug/model")), &model); err != nil {
+		t.Fatalf("/debug/model is not JSON: %v", err)
+	}
+	if !model.Trained || model.Version != 1 || model.Source != "train" {
+		t.Errorf("/debug/model = %+v, want trained v1 from train", model)
+	}
+	if model.Databases != len(ms.Databases()) {
+		t.Errorf("/debug/model reports %d databases, want %d", model.Databases, len(ms.Databases()))
+	}
+	if model.Refresh == nil {
+		t.Error("/debug/model missing refresher stats despite Config.Refresh")
+	}
+	// The UI home page surfaces the serving version too.
+	if home := get(srv.URL + "/"); !strings.Contains(home, "serving model v1") {
+		t.Error("home page missing the serving-model line")
 	}
 
 	// pprof is mounted.

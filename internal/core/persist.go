@@ -1,10 +1,16 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sync"
+	"time"
 
 	"metaprobe/internal/estimate"
 	"metaprobe/internal/summary"
@@ -12,26 +18,79 @@ import (
 
 // Model training is the expensive, offline part of the pipeline
 // (Section 4: thousands of probe queries per database). This file
-// serializes a trained model to JSON so a metasearcher can train once
-// and reload at startup.
+// serializes a trained model so a metasearcher can train once and
+// reload at startup — or hot-reload mid-flight.
+//
+// Snapshot format. Since format 2 a snapshot is an envelope
+//
+//	{"format": 2, "checksum": "sha256:…", "savedAt": …, "model": {…}}
+//
+// whose checksum covers the model payload bytes, written atomically
+// (temp file in the target directory + fsync + rename) so a crash
+// mid-write can never clobber the previous snapshot, and loaded with
+// checksum verification so a truncated or bit-rotted file fails with a
+// clear error instead of producing a silently wrong model. Files
+// written before format 2 — a bare model object with no envelope —
+// still load through a legacy path.
 //
 // The relevancy definition is stored by name and resolved on load;
 // custom definitions can be registered with RegisterRelevancy.
 
-// relevancyFactories maps relevancy names to constructors for Load.
-var relevancyFactories = map[string]func() estimate.Relevancy{
-	"doc-frequency":  func() estimate.Relevancy { return estimate.NewDocFrequency() },
-	"doc-similarity": func() estimate.Relevancy { return estimate.NewDocSimilarity() },
-}
+// FormatVersion is the snapshot envelope format written by Save. Bump
+// it whenever the persisted model schema changes shape — the golden
+// snapshot test enforces that rule.
+const FormatVersion = 2
+
+// relevancyFactories maps relevancy names to constructors for Load,
+// guarded by relevancyMu: registration and loading may run on
+// different goroutines (e.g. plugin init vs. a background hot-reload).
+var (
+	relevancyMu        sync.RWMutex
+	relevancyFactories = map[string]func() estimate.Relevancy{
+		"doc-frequency":  func() estimate.Relevancy { return estimate.NewDocFrequency() },
+		"doc-similarity": func() estimate.Relevancy { return estimate.NewDocSimilarity() },
+	}
+)
 
 // RegisterRelevancy makes a custom relevancy definition loadable by
-// name. Registering a name twice is an error.
+// name. Registering a name twice is an error. Safe for concurrent use
+// with LoadModel.
 func RegisterRelevancy(name string, factory func() estimate.Relevancy) error {
+	relevancyMu.Lock()
+	defer relevancyMu.Unlock()
 	if _, dup := relevancyFactories[name]; dup {
 		return fmt.Errorf("core: relevancy %q already registered", name)
 	}
 	relevancyFactories[name] = factory
 	return nil
+}
+
+// relevancyFactory resolves a registered relevancy constructor.
+func relevancyFactory(name string) (func() estimate.Relevancy, bool) {
+	relevancyMu.RLock()
+	defer relevancyMu.RUnlock()
+	f, ok := relevancyFactories[name]
+	return f, ok
+}
+
+// snapshotEnvelope is the on-disk frame around the model payload.
+type snapshotEnvelope struct {
+	Format   int             `json:"format"`
+	Checksum string          `json:"checksum"`
+	SavedAt  time.Time       `json:"savedAt"`
+	Model    json.RawMessage `json:"model"`
+}
+
+// SnapshotInfo describes a snapshot file without the model payload.
+type SnapshotInfo struct {
+	// Format is the envelope format version (1 for pre-envelope legacy
+	// files).
+	Format int
+	// SavedAt is the write time recorded in the envelope (zero for
+	// legacy files).
+	SavedAt time.Time
+	// Checksum is the recorded payload checksum (empty for legacy).
+	Checksum string
 }
 
 // jsonModel is the persisted form of a Model.
@@ -43,12 +102,12 @@ type jsonModel struct {
 }
 
 type jsonConfig struct {
-	Threshold       float64   `json:"threshold"`
-	MaxTerms        int       `json:"maxTerms"`
-	ErrorEdges      []float64 `json:"errorEdges"`
-	AbsoluteEdges   []float64 `json:"absoluteEdges"`
-	UseBinMean      bool      `json:"useBinMean"`
-	MinObservations int64     `json:"minObservations"`
+	Threshold       float64  `json:"threshold"`
+	MaxTerms        int      `json:"maxTerms"`
+	ErrorEdges      edgeList `json:"errorEdges"`
+	AbsoluteEdges   edgeList `json:"absoluteEdges"`
+	UseBinMean      bool     `json:"useBinMean"`
+	MinObservations int64    `json:"minObservations"`
 }
 
 type jsonDBModel struct {
@@ -61,37 +120,78 @@ type jsonED struct {
 	Terms    int       `json:"terms"`
 	Band     int       `json:"band"`
 	Absolute bool      `json:"absolute"`
-	Edges    []float64 `json:"edges"`
+	Edges    edgeList  `json:"edges"`
 	Counts   []int64   `json:"counts"`
 	Sums     []float64 `json:"sums"`
 }
 
-// infinity survives JSON round-trips as this sentinel (JSON has no
-// Inf literal).
-const infSentinel = math.MaxFloat64
+// edgeList carries histogram bin edges through JSON with infinities
+// encoded unambiguously as the strings "+Inf" / "-Inf" (JSON has no
+// Inf literal). Finite values — including math.MaxFloat64, which the
+// pre-format-2 sentinel encoding could not represent — round-trip
+// exactly as numbers.
+type edgeList []float64
 
-func encodeEdges(edges []float64) []float64 {
-	out := make([]float64, len(edges))
-	for i, e := range edges {
+// MarshalJSON implements json.Marshaler.
+func (e edgeList) MarshalJSON() ([]byte, error) {
+	items := make([]any, len(e))
+	for i, v := range e {
 		switch {
-		case math.IsInf(e, 1):
-			out[i] = infSentinel
-		case math.IsInf(e, -1):
-			out[i] = -infSentinel
+		case math.IsInf(v, 1):
+			items[i] = "+Inf"
+		case math.IsInf(v, -1):
+			items[i] = "-Inf"
+		case math.IsNaN(v):
+			return nil, fmt.Errorf("core: edge %d is NaN", i)
 		default:
-			out[i] = e
+			items[i] = v
 		}
 	}
-	return out
+	return json.Marshal(items)
 }
 
-func decodeEdges(edges []float64) []float64 {
+// UnmarshalJSON implements json.Unmarshaler, accepting numbers and the
+// "+Inf"/"-Inf" strings.
+func (e *edgeList) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		var s string
+		if err := json.Unmarshal(r, &s); err == nil {
+			switch s {
+			case "+Inf", "Inf":
+				out[i] = math.Inf(1)
+			case "-Inf":
+				out[i] = math.Inf(-1)
+			default:
+				return fmt.Errorf("core: edge %d: unknown value %q", i, s)
+			}
+			continue
+		}
+		if err := json.Unmarshal(r, &out[i]); err != nil {
+			return fmt.Errorf("core: edge %d: %w", i, err)
+		}
+	}
+	*e = out
+	return nil
+}
+
+// legacyInfSentinel is the pre-format-2 stand-in for infinity. Legacy
+// decoding maps it back to ±Inf; format 2 files never contain it as a
+// sentinel, so a legitimate MaxFloat64 edge survives round-trips.
+const legacyInfSentinel = math.MaxFloat64
+
+// decodeLegacyEdges maps the old sentinel values back to infinities.
+func decodeLegacyEdges(edges []float64) []float64 {
 	out := make([]float64, len(edges))
 	for i, e := range edges {
 		switch e {
-		case infSentinel:
+		case legacyInfSentinel:
 			out[i] = math.Inf(1)
-		case -infSentinel:
+		case -legacyInfSentinel:
 			out[i] = math.Inf(-1)
 		default:
 			out[i] = e
@@ -105,14 +205,14 @@ func encodeED(key TypeKey, ed *ED) jsonED {
 		Terms:    key.Terms,
 		Band:     int(key.Band),
 		Absolute: ed.Absolute,
-		Edges:    encodeEdges(ed.Hist.Edges),
+		Edges:    edgeList(ed.Hist.Edges),
 		Counts:   append([]int64(nil), ed.Hist.Counts...),
 		Sums:     append([]float64(nil), ed.Hist.Sums...),
 	}
 }
 
 func decodeED(j jsonED, useBinMean bool) (*ED, error) {
-	ed, err := NewED(decodeEdges(j.Edges), j.Absolute, useBinMean)
+	ed, err := NewED(j.Edges, j.Absolute, useBinMean)
 	if err != nil {
 		return nil, err
 	}
@@ -125,15 +225,15 @@ func decodeED(j jsonED, useBinMean bool) (*ED, error) {
 	return ed, nil
 }
 
-// Save writes the trained model to path as JSON.
-func (m *Model) Save(path string) error {
+// encode renders the model's persisted form.
+func (m *Model) encode() jsonModel {
 	jm := jsonModel{
 		Relevancy: m.Rel.Name(),
 		Config: jsonConfig{
 			Threshold:       m.Cfg.Classifier.Threshold,
 			MaxTerms:        m.Cfg.Classifier.MaxTerms,
-			ErrorEdges:      encodeEdges(m.Cfg.ErrorEdges),
-			AbsoluteEdges:   encodeEdges(m.Cfg.AbsoluteEdges),
+			ErrorEdges:      edgeList(m.Cfg.ErrorEdges),
+			AbsoluteEdges:   edgeList(m.Cfg.AbsoluteEdges),
 			UseBinMean:      m.Cfg.UseBinMean,
 			MinObservations: m.Cfg.MinObservations,
 		},
@@ -153,12 +253,88 @@ func (m *Model) Save(path string) error {
 		}
 		jm.DBs = append(jm.DBs, jd)
 	}
-	data, err := json.MarshalIndent(jm, "", " ")
+	return jm
+}
+
+// checksum computes the envelope checksum over the payload's compact
+// form, so it is insensitive to the re-indentation json.Marshal applies
+// to embedded raw messages.
+func checksum(payload []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// Save writes the trained model to path as a checksummed format-2
+// snapshot, atomically: the bytes land in a temp file in the same
+// directory, are fsynced, and replace path with one rename, so a crash
+// at any point leaves either the old snapshot or the new one — never a
+// truncated hybrid.
+func (m *Model) Save(path string) error {
+	payload, err := json.MarshalIndent(m.encode(), "", " ")
 	if err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	sum, err := checksum(payload)
+	if err != nil {
+		return fmt.Errorf("core: encoding model: %w", err)
+	}
+	env := snapshotEnvelope{
+		Format:   FormatVersion,
+		Checksum: sum,
+		SavedAt:  time.Now().UTC(),
+		Model:    payload,
+	}
+	data, err := json.MarshalIndent(env, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding snapshot envelope: %w", err)
+	}
+	if err := writeFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("core: writing model: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file,
+// fsync, rename, and a directory fsync, so the file named path always
+// holds either its previous content or the complete new content.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself; without this a crash can lose the new
+	// directory entry even though the data blocks are safe.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
@@ -166,15 +342,78 @@ func (m *Model) Save(path string) error {
 // LoadModel reads a model saved by Save. The relevancy definition is
 // reconstructed by name.
 func LoadModel(path string) (*Model, error) {
+	m, _, err := LoadModelInfo(path)
+	return m, err
+}
+
+// LoadModelInfo is LoadModel returning the snapshot metadata (format
+// version, save time, checksum) alongside the model.
+func LoadModelInfo(path string) (*Model, SnapshotInfo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading model: %w", err)
+		return nil, SnapshotInfo{}, fmt.Errorf("core: reading model: %w", err)
 	}
+	var info SnapshotInfo
+
+	// Probe the envelope. Legacy (pre-format-2) snapshots are a bare
+	// model object with no "format" member.
+	var probe struct {
+		Format int `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, info, fmt.Errorf("core: decoding model %s (truncated or corrupt): %w", path, err)
+	}
+	payload := data
+	legacy := probe.Format == 0
+	if legacy {
+		info.Format = 1
+	} else {
+		if probe.Format != FormatVersion {
+			return nil, info, fmt.Errorf("core: model %s uses snapshot format %d; this build reads %d (and legacy format 1)",
+				path, probe.Format, FormatVersion)
+		}
+		var env snapshotEnvelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, info, fmt.Errorf("core: decoding snapshot envelope %s: %w", path, err)
+		}
+		if len(env.Model) == 0 {
+			return nil, info, fmt.Errorf("core: model %s: snapshot has no model payload (truncated?)", path)
+		}
+		got, err := checksum(env.Model)
+		if err != nil {
+			return nil, info, fmt.Errorf("core: model %s: snapshot payload is not valid JSON (truncated?): %w", path, err)
+		}
+		if got != env.Checksum {
+			return nil, info, fmt.Errorf("core: model %s: checksum mismatch (%s recorded, %s computed) — file is corrupt or was modified",
+				path, env.Checksum, got)
+		}
+		info = SnapshotInfo{Format: env.Format, SavedAt: env.SavedAt, Checksum: env.Checksum}
+		payload = env.Model
+	}
+
 	var jm jsonModel
-	if err := json.Unmarshal(data, &jm); err != nil {
-		return nil, fmt.Errorf("core: decoding model %s: %w", path, err)
+	if err := json.Unmarshal(payload, &jm); err != nil {
+		return nil, info, fmt.Errorf("core: decoding model %s (truncated or corrupt): %w", path, err)
 	}
-	factory, ok := relevancyFactories[jm.Relevancy]
+	if legacy {
+		jm.Config.ErrorEdges = decodeLegacyEdges(jm.Config.ErrorEdges)
+		jm.Config.AbsoluteEdges = decodeLegacyEdges(jm.Config.AbsoluteEdges)
+		for di := range jm.DBs {
+			for ei := range jm.DBs[di].EDs {
+				jm.DBs[di].EDs[ei].Edges = decodeLegacyEdges(jm.DBs[di].EDs[ei].Edges)
+			}
+			if jm.DBs[di].Pooled != nil {
+				jm.DBs[di].Pooled.Edges = decodeLegacyEdges(jm.DBs[di].Pooled.Edges)
+			}
+		}
+	}
+	m, err := decodeModel(path, jm)
+	return m, info, err
+}
+
+// decodeModel reconstructs a Model from its persisted form.
+func decodeModel(path string, jm jsonModel) (*Model, error) {
+	factory, ok := relevancyFactory(jm.Relevancy)
 	if !ok {
 		return nil, fmt.Errorf("core: model uses unknown relevancy %q (register it with RegisterRelevancy)", jm.Relevancy)
 	}
@@ -192,14 +431,15 @@ func LoadModel(path string) (*Model, error) {
 	m := &Model{
 		Cfg: Config{
 			Classifier:      Classifier{Threshold: jm.Config.Threshold, MaxTerms: jm.Config.MaxTerms},
-			ErrorEdges:      decodeEdges(jm.Config.ErrorEdges),
-			AbsoluteEdges:   decodeEdges(jm.Config.AbsoluteEdges),
+			ErrorEdges:      jm.Config.ErrorEdges,
+			AbsoluteEdges:   jm.Config.AbsoluteEdges,
 			UseBinMean:      jm.Config.UseBinMean,
 			MinObservations: jm.Config.MinObservations,
 		},
 		Rel:       factory(),
 		Summaries: &summary.Set{Summaries: jm.Summaries},
 	}
+	var err error
 	for _, jd := range jm.DBs {
 		dm := &DBModel{Name: jd.Name, EDs: make(map[TypeKey]*ED, len(jd.EDs))}
 		for _, je := range jd.EDs {

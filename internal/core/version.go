@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Model versioning: serving reads a *ModelVersion through an RCU-style
+// atomic pointer (the facade owns the pointer), refreshes build a
+// copy-on-write successor with Clone, validate it off to the side, and
+// publish it with one atomic store. In-flight selections keep the
+// version they started with; nothing ever blocks on a swap.
+
+// ModelVersion is one immutable, numbered model snapshot plus its
+// provenance. Treat the whole value — including the Model it points to
+// — as frozen once published; mutating state (online refinement)
+// belongs to whoever holds the serving pointer and its lock.
+type ModelVersion struct {
+	// Version counts published models, starting at 1 for the first
+	// Train or load.
+	Version int64
+	// CreatedAt is when this version was published.
+	CreatedAt time.Time
+	// Source records how the version came to be: "train", "load",
+	// "reload" or "refresh".
+	Source string
+	// Model is the trained model itself.
+	Model *Model
+	// RefreshedAt maps database name → the last time an online refresh
+	// rebuilt any of that database's EDs (carried across versions).
+	RefreshedAt map[string]time.Time
+}
+
+// NewModelVersion wraps a freshly trained or loaded model as version 1.
+func NewModelVersion(m *Model, source string, now time.Time) *ModelVersion {
+	return &ModelVersion{
+		Version:     1,
+		CreatedAt:   now,
+		Source:      source,
+		Model:       m,
+		RefreshedAt: make(map[string]time.Time),
+	}
+}
+
+// Next derives the successor version holding m. refreshedDB, when
+// non-empty, stamps that database's refresh time; the rest of the
+// refresh history carries over.
+func (v *ModelVersion) Next(m *Model, source, refreshedDB string, now time.Time) *ModelVersion {
+	next := &ModelVersion{
+		Version:     v.Version + 1,
+		CreatedAt:   now,
+		Source:      source,
+		Model:       m,
+		RefreshedAt: make(map[string]time.Time, len(v.RefreshedAt)+1),
+	}
+	for db, t := range v.RefreshedAt {
+		next.RefreshedAt[db] = t
+	}
+	if refreshedDB != "" {
+		next.RefreshedAt[refreshedDB] = now
+	}
+	return next
+}
+
+// Clone deep-copies the database model: the ED histograms are the
+// mutable state (online refinement writes into them), so a refresh
+// must copy them before building a candidate model.
+func (dm *DBModel) Clone() *DBModel {
+	out := &DBModel{Name: dm.Name, EDs: make(map[TypeKey]*ED, len(dm.EDs))}
+	for k, ed := range dm.EDs {
+		out.EDs[k] = ed.Clone()
+	}
+	if dm.Pooled != nil {
+		out.Pooled = dm.Pooled.Clone()
+	}
+	return out
+}
+
+// Clone deep-copies the model's mutable state (the per-database EDs);
+// the configuration, relevancy definition and content summaries are
+// read-only after training and are shared.
+func (m *Model) Clone() *Model {
+	out := &Model{
+		Cfg:       m.Cfg,
+		Rel:       m.Rel,
+		Summaries: m.Summaries,
+		DBs:       make([]*DBModel, len(m.DBs)),
+	}
+	for i, dm := range m.DBs {
+		out.DBs[i] = dm.Clone()
+	}
+	return out
+}
+
+// ParseTypeKey parses the String form of a TypeKey ("2-term/high") —
+// the shape drift alerts carry — back into the key.
+func ParseTypeKey(s string) (TypeKey, error) {
+	terms, band, ok := strings.Cut(s, "-term/")
+	if !ok {
+		return TypeKey{}, fmt.Errorf("core: malformed query-type key %q", s)
+	}
+	var k TypeKey
+	if _, err := fmt.Sscanf(terms, "%d", &k.Terms); err != nil || k.Terms < 1 {
+		return TypeKey{}, fmt.Errorf("core: malformed query-type key %q", s)
+	}
+	switch band {
+	case "zero":
+		k.Band = BandZero
+	case "low":
+		k.Band = BandLow
+	case "high":
+		k.Band = BandHigh
+	default:
+		return TypeKey{}, fmt.Errorf("core: unknown estimate band in query-type key %q", s)
+	}
+	return k, nil
+}

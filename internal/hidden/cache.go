@@ -11,25 +11,51 @@ import (
 // metasearch session the same query hits a database repeatedly —
 // training, golden-standard construction, probing and result fetching
 // all issue overlapping queries — and remote round trips dominate, so
-// a small per-database cache pays for itself immediately. Results are
-// cached per (query, topK-ceiling): a hit requesting more documents
-// than a cached entry holds falls through to the backend.
+// a small per-database cache pays for itself immediately.
+//
+// Results are cached per query, keeping the answer with the largest
+// topK ceiling seen so far: a request for fewer documents than a
+// cached entry holds is served by truncating the cached ranking (a
+// hit), since the top-k of a top-K answer with k ≤ K is identical.
+// Only a request for *more* documents than the entry can prove it has
+// falls through to the backend, after which the larger answer replaces
+// the entry.
 type Cached struct {
 	db       Database
 	capacity int
 
 	mu      sync.Mutex
-	entries map[string]*list.Element
-	order   *list.List // front = most recent
+	entries map[string]*list.Element // query → entry
+	order   *list.List               // front = most recent
 
 	hits, misses int64
 }
 
-// cacheEntry is one memoized answer.
+// cacheEntry is one memoized answer: the best (largest-ceiling)
+// result seen for a query.
 type cacheEntry struct {
 	query string
-	topK  int
-	res   Result
+	// topK is the ceiling res was fetched with.
+	topK int
+	res  Result
+}
+
+// serves reports whether this entry can answer a request for topK
+// documents: either the entry was fetched with at least that ceiling,
+// or it holds the complete match list (the backend returned fewer
+// documents than asked for, so no larger request can see more).
+func (e *cacheEntry) serves(topK int) bool {
+	return e.topK >= topK || len(e.res.Docs) < e.topK
+}
+
+// truncate renders the entry's answer for a smaller ceiling. The Docs
+// slice is shared read-only with the cache.
+func (e *cacheEntry) truncate(topK int) Result {
+	res := e.res
+	if topK < len(res.Docs) {
+		res.Docs = res.Docs[:topK:topK]
+	}
+	return res
 }
 
 // NewCached wraps db with an LRU result cache of the given capacity
@@ -55,62 +81,72 @@ func (c *Cached) Unwrap() Database { return c.db }
 // Search implements Database with memoization. Errors are never
 // cached.
 func (c *Cached) Search(query string, topK int) (Result, error) {
-	key := fmt.Sprintf("%d\x00%s", topK, query)
-	if res, ok := c.lookup(key); ok {
+	if res, ok := c.lookup(query, topK); ok {
 		return res, nil
 	}
 	res, err := c.db.Search(query, topK)
 	if err != nil {
 		return Result{}, err
 	}
-	return c.store(key, query, topK, res), nil
+	return c.store(query, topK, res), nil
 }
 
 // SearchContext implements ContextDatabase. Hits answer from memory
 // regardless of the context's state; misses go to the backend under
 // ctx.
 func (c *Cached) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
-	key := fmt.Sprintf("%d\x00%s", topK, query)
-	if res, ok := c.lookup(key); ok {
+	if res, ok := c.lookup(query, topK); ok {
 		return res, nil
 	}
 	res, err := SearchContext(ctx, c.db, query, topK)
 	if err != nil {
 		return Result{}, err
 	}
-	return c.store(key, query, topK, res), nil
+	return c.store(query, topK, res), nil
 }
 
-// lookup returns the cached answer for key, counting the hit or miss.
-func (c *Cached) lookup(key string) (Result, bool) {
+// lookup returns the cached answer able to serve (query, topK),
+// counting the hit or miss. Serving from a larger cached ceiling
+// counts as a hit.
+func (c *Cached) lookup(query string, topK int) (Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry).res, true
+	if el, ok := c.entries[query]; ok {
+		if e := el.Value.(*cacheEntry); e.serves(topK) {
+			c.order.MoveToFront(el)
+			c.hits++
+			return e.truncate(topK), true
+		}
 	}
 	c.misses++
 	return Result{}, false
 }
 
 // store memoizes one answer, evicting the least recently used entries
-// beyond capacity, and returns the canonical cached value.
-func (c *Cached) store(key, query string, topK int, res Result) Result {
+// beyond capacity, and returns the value to serve. An answer fetched
+// with a larger ceiling replaces the query's existing entry; a
+// concurrent store that can already serve this ceiling wins instead.
+func (c *Cached) store(query string, topK int, res Result) Result {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		// A concurrent caller cached it first; keep theirs.
+	if el, ok := c.entries[query]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.serves(topK) {
+			// A concurrent caller cached an answer at least as wide;
+			// keep theirs.
+			c.order.MoveToFront(el)
+			return e.truncate(topK)
+		}
+		el.Value = &cacheEntry{query: query, topK: topK, res: res}
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).res
+		return res
 	}
 	el := c.order.PushFront(&cacheEntry{query: query, topK: topK, res: res})
-	c.entries[key] = el
+	c.entries[query] = el
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		e := oldest.Value.(*cacheEntry)
-		delete(c.entries, fmt.Sprintf("%d\x00%s", e.topK, e.query))
+		delete(c.entries, oldest.Value.(*cacheEntry).query)
 	}
 	return res
 }

@@ -26,12 +26,69 @@ func TestCachedMemoizes(t *testing.T) {
 	if hits != 4 || misses != 1 {
 		t.Errorf("hits/misses = %d/%d, want 4/1", hits, misses)
 	}
-	// Different topK is a different cache key.
+	// A larger topK than the entry can prove it has goes to the backend.
 	if _, err := c.Search("breast cancer", 5); err != nil {
 		t.Fatal(err)
 	}
 	if inner.Searches() != 2 {
-		t.Errorf("backend saw %d searches after topK change, want 2", inner.Searches())
+		t.Errorf("backend saw %d searches after topK growth, want 2", inner.Searches())
+	}
+}
+
+// TestCachedServesSmallerTopK: an entry cached at a larger ceiling
+// answers smaller requests by truncation, counted as hits.
+func TestCachedServesSmallerTopK(t *testing.T) {
+	inner := NewCounting(buildSmallLocal(t))
+	c := NewCached(inner, 10)
+	// topK 2 with exactly 2 matches: the entry fills its ceiling, so it
+	// cannot prove completeness and larger requests must fall through.
+	full, err := c.Search("breast cancer", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Docs) != 2 {
+		t.Fatalf("fixture changed: got %d docs for 'breast cancer'", len(full.Docs))
+	}
+	small, err := c.Search("breast cancer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != 1 {
+		t.Fatalf("backend saw %d searches; smaller topK must serve from the larger entry", inner.Searches())
+	}
+	if len(small.Docs) != 1 || small.Docs[0] != full.Docs[0] {
+		t.Fatalf("truncated answer %+v does not match head of %+v", small.Docs, full.Docs)
+	}
+	if small.MatchCount != full.MatchCount {
+		t.Errorf("truncation changed MatchCount: %d vs %d", small.MatchCount, full.MatchCount)
+	}
+	// Count-only requests are also served by truncation.
+	if res, err := c.Search("breast cancer", 0); err != nil || len(res.Docs) != 0 || res.MatchCount != full.MatchCount {
+		t.Fatalf("count-only from cached entry: res=%+v err=%v", res, err)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	// A request beyond the entry's ceiling hits the backend and the
+	// wider answer replaces the entry.
+	if _, err := c.Search("breast cancer", 5); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != 2 {
+		t.Fatalf("backend saw %d searches for a wider request, want 2", inner.Searches())
+	}
+	// The new entry came back with fewer docs than its ceiling, proving
+	// completeness: any larger request is now served from cache.
+	if _, err := c.Search("breast cancer", 200); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Searches() != 2 {
+		t.Errorf("complete entry did not serve a larger request (searches=%d)", inner.Searches())
+	}
+	// One entry per query, not one per (query, topK).
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries for one query", c.Len())
 	}
 }
 

@@ -56,6 +56,21 @@ func CalibrationHandler(c *Calibration) http.Handler {
 	})
 }
 
+// JSONHandler serves snapshot() as indented JSON on every request —
+// the generic /debug/* endpoint builder (the model-version endpoint
+// mounts it at /debug/model). snapshot runs per request, so the served
+// view is always current.
+func JSONHandler(snapshot func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
 // HealthzHandler reports process liveness: it always answers 200 "ok".
 // Mount it at /healthz for load-balancer liveness checks.
 func HealthzHandler() http.Handler {

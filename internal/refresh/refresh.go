@@ -1,0 +1,587 @@
+// Package refresh closes the drift loop: it consumes error-distribution
+// drift alerts (internal/obs.DriftDetector) and retrains the affected
+// (database, query type) error distributions online, following the
+// paper's Section 4 training procedure — probe the database with
+// workload-like queries and accumulate the fresh estimation errors —
+// but under a bounded probe budget routed through the host's
+// probe-execution lane, so refresh traffic can never starve live
+// selections.
+//
+// A refresh never mutates the serving model. It clones the serving
+// snapshot copy-on-write, rebuilds the drifted ED from fresh probes,
+// validates the candidate against a holdout slice of those probes
+// (the candidate's distributional fit must not regress beyond
+// Config.MaxRegression), and asks the host to publish it with one
+// atomic pointer swap — or discards it and counts a rollback.
+package refresh
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/obs"
+)
+
+// Config tunes a Refresher. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// ProbeBudget caps the live probes one refresh task may spend
+	// (default 96). The budget bounds the *cost* of reacting to an
+	// alert; the host's probe pool bounds its *concurrency impact*.
+	ProbeBudget int
+	// MinProbes is the minimum number of successful probes required to
+	// rebuild an ED; tasks that cannot gather that many matching
+	// observations abort without touching the model (default 16).
+	MinProbes int
+	// HoldoutEvery holds out every Nth probe for validation instead of
+	// training (default 4, i.e. a 25% holdout slice).
+	HoldoutEvery int
+	// MaxRegression is the allowed validation regression: the
+	// candidate's holdout score (mean negative log-likelihood, nats —
+	// see holdoutScore) may exceed the serving model's by at most this
+	// much before the refresh rolls back (default 0.1).
+	MaxRegression float64
+	// Cooldown suppresses re-refreshing one (database, query type) for
+	// this long after an attempt, absorbing the detector's periodic
+	// re-alerts while fresh post-refresh samples accumulate
+	// (default 1m).
+	Cooldown time.Duration
+	// QueueSize bounds the pending-alert queue; alerts beyond it are
+	// dropped and counted (default 64).
+	QueueSize int
+	// Concurrency bounds the refresh probes in flight for one task
+	// (default 2). Keep it well below the host pool's global limit so a
+	// refresh only ever nibbles at serving capacity.
+	Concurrency int
+	// TaskTimeout bounds one refresh task end to end (default 2m).
+	TaskTimeout time.Duration
+	// Queries supplies up to n candidate probe queries with the given
+	// term count, workload-like (the paper trains on queries resembling
+	// future traffic). Required: a Refresher without a query source
+	// aborts every task.
+	Queries func(numTerms, n int) []string
+	// Metrics receives mp_refresh_* series; nil disables them.
+	Metrics *obs.Registry
+	// Logger receives refresh lifecycle logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.ProbeBudget <= 0 {
+		c.ProbeBudget = 96
+	}
+	if c.MinProbes <= 0 {
+		c.MinProbes = 16
+	}
+	if c.HoldoutEvery <= 1 {
+		c.HoldoutEvery = 4
+	}
+	if c.MaxRegression <= 0 {
+		c.MaxRegression = 0.1
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 2 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// Host is what a Refresher needs from the metasearcher it maintains.
+// Implementations must be safe for concurrent use.
+type Host interface {
+	// CloneServing returns the serving model version number and a deep
+	// copy of its model, consistent under the host's model lock. The
+	// copy is the refresher's to mutate.
+	CloneServing() (version int64, clone *core.Model)
+	// Probe issues one live training probe to database dbIdx through
+	// the host's bounded probe-execution lane and returns the actual
+	// relevancy.
+	Probe(ctx context.Context, dbIdx int, query string) (float64, error)
+	// Commit publishes candidate as the successor of baseVersion with
+	// one atomic swap and returns the new version number. Hosts reject
+	// the commit (ErrSuperseded) when the serving version is no longer
+	// baseVersion — the candidate was built against a model that has
+	// since been replaced.
+	Commit(baseVersion int64, candidate *core.Model, db string, key core.TypeKey, val Validation) (int64, error)
+}
+
+// ErrSuperseded is returned by Host.Commit when the serving model
+// changed under the refresh (e.g. an operator hot-reload).
+var ErrSuperseded = fmt.Errorf("refresh: serving model changed during refresh")
+
+// Alert names one drifted (database, query type).
+type Alert struct {
+	// DB is the database name (for logs and metrics).
+	DB string
+	// DBIdx is the database's testbed index.
+	DBIdx int
+	// Key is the drifted query type.
+	Key core.TypeKey
+}
+
+// Validation reports one refresh task's holdout audit.
+type Validation struct {
+	// DB and QueryType identify the refreshed key.
+	DB        string `json:"db"`
+	QueryType string `json:"queryType"`
+	// OldScore and NewScore are the mean negative log-likelihoods
+	// (nats) of the holdout observations under the serving and
+	// candidate error distributions (lower is better).
+	OldScore float64 `json:"oldScore"`
+	NewScore float64 `json:"newScore"`
+	// TrainSamples and HoldoutSamples count the probe observations on
+	// each side of the split.
+	TrainSamples   int `json:"trainSamples"`
+	HoldoutSamples int `json:"holdoutSamples"`
+	// ProbesSpent is the number of live probes the task issued
+	// (successes and failures).
+	ProbesSpent int `json:"probesSpent"`
+	// Accepted reports whether the candidate was published.
+	Accepted bool `json:"accepted"`
+	// At is when the validation concluded.
+	At time.Time `json:"at"`
+}
+
+// Stats is a point-in-time view of a Refresher's counters.
+type Stats struct {
+	// Queued, Coalesced, Cooldown and Dropped classify alert intake:
+	// queued for work, coalesced into an already-queued task,
+	// suppressed by cooldown, or dropped on a full queue.
+	Queued    int64 `json:"queued"`
+	Coalesced int64 `json:"coalesced"`
+	Cooldown  int64 `json:"cooldown"`
+	Dropped   int64 `json:"dropped"`
+	// Refreshes counts published candidates; Rollbacks counts
+	// candidates discarded by validation; Aborted counts tasks that
+	// could not gather enough probes; Superseded counts commits
+	// rejected because the serving model changed mid-task.
+	Refreshes  int64 `json:"refreshes"`
+	Rollbacks  int64 `json:"rollbacks"`
+	Aborted    int64 `json:"aborted"`
+	Superseded int64 `json:"superseded"`
+	// ProbesSpent is the total live probes issued by refresh tasks.
+	ProbesSpent int64 `json:"probesSpent"`
+	// LastValidation is the most recent task's audit, nil before the
+	// first task completes.
+	LastValidation *Validation `json:"lastValidation,omitempty"`
+}
+
+// Refresher is the background model-maintenance worker. Create with
+// New, feed with Alert (typically wired to Config.OnDrift), stop with
+// Stop. A nil *Refresher ignores alerts.
+type Refresher struct {
+	cfg  Config
+	host Host
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	ch     chan Alert
+	wg     sync.WaitGroup
+
+	mu          sync.Mutex
+	stopped     bool
+	queued      map[Alert]bool
+	lastAttempt map[Alert]time.Time
+	stats       Stats
+}
+
+// New builds a Refresher over host and starts its worker goroutine.
+func New(cfg Config, host Host) *Refresher {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Refresher{
+		cfg:         cfg,
+		host:        host,
+		ctx:         ctx,
+		cancel:      cancel,
+		ch:          make(chan Alert, cfg.QueueSize),
+		queued:      make(map[Alert]bool),
+		lastAttempt: make(map[Alert]time.Time),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Help("mp_refresh_total", "Completed online model refreshes, by outcome (ok, rollback, aborted, superseded).")
+		reg.Help("mp_refresh_rollbacks_total", "Refresh candidates discarded because validation regressed beyond the configured gap.")
+		reg.Help("mp_refresh_probes_total", "Live probes spent by refresh tasks.")
+		reg.Help("mp_refresh_alerts_total", "Drift alerts received, by intake decision (queued, coalesced, cooldown, dropped).")
+		reg.Help("mp_refresh_duration_seconds", "End-to-end duration of refresh tasks.")
+		reg.Counter("mp_refresh_rollbacks_total", nil)
+		for _, o := range []string{"ok", "rollback", "aborted", "superseded"} {
+			reg.Counter("mp_refresh_total", obs.Labels{"outcome": o})
+		}
+	}
+	r.wg.Add(1)
+	go r.worker()
+	return r
+}
+
+// Stop shuts the worker down and waits for any in-flight task. Alerts
+// arriving after Stop are dropped.
+func (r *Refresher) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.ch)
+	r.mu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+}
+
+// Alert enqueues one drifted key for retraining. Never blocks: alerts
+// for a key already queued are coalesced, alerts inside the key's
+// cooldown window are suppressed, and alerts beyond the queue capacity
+// are dropped — all counted in Stats.
+func (r *Refresher) Alert(a Alert) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		r.stats.Dropped++
+		r.count("mp_refresh_alerts_total", "decision", "dropped")
+		return
+	}
+	if r.queued[a] {
+		r.stats.Coalesced++
+		r.count("mp_refresh_alerts_total", "decision", "coalesced")
+		return
+	}
+	if last, ok := r.lastAttempt[a]; ok && time.Since(last) < r.cfg.Cooldown {
+		r.stats.Cooldown++
+		r.count("mp_refresh_alerts_total", "decision", "cooldown")
+		return
+	}
+	select {
+	case r.ch <- a:
+		r.queued[a] = true
+		r.stats.Queued++
+		r.count("mp_refresh_alerts_total", "decision", "queued")
+	default:
+		r.stats.Dropped++
+		r.count("mp_refresh_alerts_total", "decision", "dropped")
+	}
+}
+
+// Stats snapshots the counters.
+func (r *Refresher) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.stats
+	if r.stats.LastValidation != nil {
+		v := *r.stats.LastValidation
+		out.LastValidation = &v
+	}
+	return out
+}
+
+// count bumps a labeled metric counter (nil-registry safe).
+func (r *Refresher) count(name, label, value string) {
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.Counter(name, obs.Labels{label: value}).Inc()
+	}
+}
+
+// worker drains the alert queue, one task at a time.
+func (r *Refresher) worker() {
+	defer r.wg.Done()
+	for a := range r.ch {
+		r.mu.Lock()
+		delete(r.queued, a)
+		r.lastAttempt[a] = time.Now()
+		r.mu.Unlock()
+		r.runTask(a)
+		if r.ctx.Err() != nil {
+			// Drain remaining alerts without working them.
+			for range r.ch {
+			}
+			return
+		}
+	}
+}
+
+// outcome is one task's terminal state.
+type outcome string
+
+const (
+	outcomeOK         outcome = "ok"
+	outcomeRollback   outcome = "rollback"
+	outcomeAborted    outcome = "aborted"
+	outcomeSuperseded outcome = "superseded"
+)
+
+// runTask executes one refresh end to end: clone, re-probe, rebuild,
+// validate, commit or roll back.
+func (r *Refresher) runTask(a Alert) {
+	start := time.Now()
+	out, val, err := r.refreshKey(a)
+	elapsed := time.Since(start)
+
+	r.mu.Lock()
+	switch out {
+	case outcomeOK:
+		r.stats.Refreshes++
+	case outcomeRollback:
+		r.stats.Rollbacks++
+	case outcomeAborted:
+		r.stats.Aborted++
+	case outcomeSuperseded:
+		r.stats.Superseded++
+	}
+	if val != nil {
+		v := *val
+		r.stats.LastValidation = &v
+		r.stats.ProbesSpent += int64(val.ProbesSpent)
+	}
+	r.mu.Unlock()
+
+	if reg := r.cfg.Metrics; reg != nil {
+		reg.Counter("mp_refresh_total", obs.Labels{"outcome": string(out)}).Inc()
+		if out == outcomeRollback {
+			reg.Counter("mp_refresh_rollbacks_total", nil).Inc()
+		}
+		if val != nil {
+			reg.Counter("mp_refresh_probes_total", nil).Add(int64(val.ProbesSpent))
+		}
+		reg.Histogram("mp_refresh_duration_seconds", nil).Observe(elapsed.Seconds())
+	}
+	log := r.cfg.Logger.With("db", a.DB, "type", a.Key.String(), "outcome", string(out), "elapsed", elapsed)
+	if val != nil {
+		log = log.With("oldScore", val.OldScore, "newScore", val.NewScore,
+			"probes", val.ProbesSpent, "train", val.TrainSamples, "holdout", val.HoldoutSamples)
+	}
+	if err != nil {
+		log.Warn("model refresh did not publish", "err", err)
+	} else {
+		log.Info("model refresh published")
+	}
+}
+
+// probePair is one fresh training observation.
+type probePair struct {
+	query  string
+	terms  int
+	rhat   float64
+	actual float64
+}
+
+// refreshKey is the task body. It returns the outcome, the validation
+// record when probing happened, and a diagnostic error for non-ok
+// outcomes.
+func (r *Refresher) refreshKey(a Alert) (outcome, *Validation, error) {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.TaskTimeout)
+	defer cancel()
+
+	baseVersion, clone := r.host.CloneServing()
+	if clone == nil {
+		return outcomeAborted, nil, fmt.Errorf("refresh: no serving model")
+	}
+	if a.DBIdx < 0 || a.DBIdx >= len(clone.DBs) {
+		return outcomeAborted, nil, fmt.Errorf("refresh: database index %d outside [0, %d)", a.DBIdx, len(clone.DBs))
+	}
+	if r.cfg.Queries == nil {
+		return outcomeAborted, nil, fmt.Errorf("refresh: no query source configured")
+	}
+
+	// Candidate queries that classify into the alerted key need no
+	// probe to identify: classification is summary-only. Over-ask the
+	// source since only a fraction lands in the key.
+	sum := clone.Summaries.Summaries[a.DBIdx]
+	raw := r.cfg.Queries(a.Key.Terms, 8*r.cfg.ProbeBudget)
+	var cands []probePair
+	seen := make(map[string]bool, len(raw))
+	for _, q := range raw {
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		terms := len(strings.Fields(q))
+		rhat := clone.Rel.Estimate(sum, q)
+		if clone.Cfg.Classifier.Classify(terms, rhat) != a.Key {
+			continue
+		}
+		cands = append(cands, probePair{query: q, terms: terms, rhat: rhat})
+		if len(cands) >= r.cfg.ProbeBudget {
+			break
+		}
+	}
+	if len(cands) < r.cfg.MinProbes {
+		return outcomeAborted, nil, fmt.Errorf("refresh: only %d workload queries classify as %s on %s (need %d)",
+			len(cands), a.Key, a.DB, r.cfg.MinProbes)
+	}
+
+	// Probe the candidates through the host's lane, bounded by
+	// Concurrency — the budget caps total cost, the pool caps impact.
+	pairs, probesSpent := r.probeAll(ctx, a.DBIdx, cands)
+	val := &Validation{
+		DB: a.DB, QueryType: a.Key.String(),
+		ProbesSpent: probesSpent, At: time.Now(),
+	}
+	if len(pairs) < r.cfg.MinProbes {
+		return outcomeAborted, val, fmt.Errorf("refresh: %d/%d probes succeeded (need %d)",
+			len(pairs), probesSpent, r.cfg.MinProbes)
+	}
+
+	// Deterministic interleaved split: every HoldoutEvery-th pair is
+	// held out for validation, the rest rebuild the ED.
+	var train, holdout []probePair
+	for i, p := range pairs {
+		if i%r.cfg.HoldoutEvery == r.cfg.HoldoutEvery-1 {
+			holdout = append(holdout, p)
+		} else {
+			train = append(train, p)
+		}
+	}
+	if len(holdout) == 0 {
+		holdout = train[:1]
+	}
+	val.TrainSamples, val.HoldoutSamples = len(train), len(holdout)
+
+	// Score the serving distribution first (the clone is still
+	// unmodified), then rebuild only the alerted key's ED and score the
+	// candidate on the same holdout.
+	val.OldScore = holdoutScore(clone, a.DBIdx, a.Key, holdout)
+	if err := rebuildED(clone, a.DBIdx, a.Key, train); err != nil {
+		return outcomeAborted, val, err
+	}
+	val.NewScore = holdoutScore(clone, a.DBIdx, a.Key, holdout)
+
+	if val.NewScore > val.OldScore+r.cfg.MaxRegression {
+		return outcomeRollback, val, fmt.Errorf("refresh: candidate regressed on holdout: %.4f -> %.4f (gap %.4f allowed)",
+			val.OldScore, val.NewScore, r.cfg.MaxRegression)
+	}
+	val.Accepted = true
+	if _, err := r.host.Commit(baseVersion, clone, a.DB, a.Key, *val); err != nil {
+		val.Accepted = false
+		if err == ErrSuperseded {
+			return outcomeSuperseded, val, err
+		}
+		return outcomeAborted, val, err
+	}
+	return outcomeOK, val, nil
+}
+
+// probeAll issues the candidates' probes with bounded concurrency and
+// returns the successful observations (in candidate order) plus the
+// total probes issued.
+func (r *Refresher) probeAll(ctx context.Context, dbIdx int, cands []probePair) ([]probePair, int) {
+	type slot struct {
+		ok bool
+		v  float64
+	}
+	results := make([]slot, len(cands))
+	sem := make(chan struct{}, r.cfg.Concurrency)
+	var wg sync.WaitGroup
+	issued := 0
+	for i := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		issued++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := r.host.Probe(ctx, dbIdx, cands[i].query)
+			if err == nil {
+				results[i] = slot{ok: true, v: v}
+			}
+		}(i)
+	}
+	wg.Wait()
+	out := make([]probePair, 0, len(cands))
+	for i, res := range results {
+		if res.ok {
+			p := cands[i]
+			p.actual = res.v
+			out = append(out, p)
+		}
+	}
+	return out, issued
+}
+
+// rebuildED replaces the (dbIdx, key) ED in m with one trained from
+// scratch on the fresh pairs — the paper's Section 4 procedure over
+// post-drift data. The database's pooled ED is left alone: it is a
+// long-run aggregate across all query types, and the serving fallback
+// semantics expect it to change slowly.
+func rebuildED(m *core.Model, dbIdx int, key core.TypeKey, train []probePair) error {
+	edges := m.Cfg.ErrorEdges
+	absolute := key.Band == core.BandZero
+	if absolute {
+		edges = m.Cfg.AbsoluteEdges
+	}
+	ed, err := core.NewED(edges, absolute, m.Cfg.UseBinMean)
+	if err != nil {
+		return err
+	}
+	for _, p := range train {
+		if err := ed.Observe(p.rhat, p.actual); err != nil {
+			return fmt.Errorf("refresh: rebuilding %s/%s: %w", m.DBs[dbIdx].Name, key, err)
+		}
+	}
+	m.DBs[dbIdx].EDs[key] = ed
+	return nil
+}
+
+// holdoutScore is the validation measure: the mean negative
+// log-likelihood, in nats, of the holdout error observations under the
+// (dbIdx, key) error distribution, with add-one smoothing across the
+// histogram bins so unoccupied bins cost log(total+bins) rather than
+// infinity. It scores distributional fit — how much probability the ED
+// puts where fresh probes actually land — rather than point-prediction
+// error: a point metric normalized by the actual relevancy is
+// asymmetric (underestimates cost at most ~1 per pair, overestimates
+// are unbounded), so against a heterogeneous holdout a stale model
+// that underestimates a grown collection would outscore an honest
+// retrain. Lower is better; a drifted ED scores badly because its mass
+// sits in bins the fresh errors no longer occupy. A model with no ED
+// for the key scores +Inf — any retrain beats serving nothing.
+func holdoutScore(m *core.Model, dbIdx int, key core.TypeKey, holdout []probePair) float64 {
+	ed := m.DBs[dbIdx].EDs[key]
+	if ed == nil || ed.Observations() == 0 {
+		return math.Inf(1)
+	}
+	h := ed.Hist
+	total := float64(h.Total())
+	bins := float64(h.Bins())
+	var nll float64
+	for _, p := range holdout {
+		v := p.actual
+		if !ed.Absolute {
+			// In-key candidates always have rhat > 0: the zero band owns
+			// rhat == 0, and classification gated them into this key.
+			v = (p.actual - p.rhat) / p.rhat
+		}
+		c := float64(h.Counts[h.BinIndex(v)])
+		nll -= math.Log((c + 1) / (total + bins))
+	}
+	return nll / float64(len(holdout))
+}

@@ -1,0 +1,436 @@
+package refresh
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/estimate"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+	"metaprobe/internal/summary"
+)
+
+// harness is a small trained pipeline shared by the refresh tests.
+type harness struct {
+	model *core.Model
+	tb    *hidden.Testbed
+	rel   estimate.Relevancy
+	pool  []queries.Query
+}
+
+func buildHarness(t *testing.T) *harness {
+	t.Helper()
+	w := corpus.HealthWorld()
+	specs := corpus.HealthTestbed(0.02)[:4]
+	tb, err := hidden.BuildTestbed(w, specs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := summary.BuildExact(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := queries.NewGenerator(w, queries.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, pool, err := gen.TrainTest(stats.NewRNG(31), 150, 150, 250, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := estimate.NewDocFrequency()
+	cfg := core.DefaultConfig()
+	// The paper's threshold of 100 suits web-scale collections; on this
+	// small testbed nothing estimates that high, so lower the high-band
+	// split to get populated high-band query types to drift.
+	cfg.Classifier.Threshold = 0.1
+	model, err := core.Train(tb, sums, rel, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{model: model, tb: tb, rel: rel, pool: pool}
+}
+
+// querySource serves workload-like queries from the held-out pool.
+func (h *harness) querySource(numTerms, n int) []string {
+	var out []string
+	for _, q := range h.pool {
+		if q.NumTerms() == numTerms {
+			out = append(out, q.String())
+			if len(out) >= n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// alertFor picks a non-zero-band key on db 0 with enough held-out
+// workload queries to refresh.
+func (h *harness) alertFor(t *testing.T, minCands int) Alert {
+	t.Helper()
+	sum := h.model.Summaries.Summaries[0]
+	counts := make(map[core.TypeKey]int)
+	for _, q := range h.pool {
+		rhat := h.rel.Estimate(sum, q.String())
+		counts[h.model.Cfg.Classifier.Classify(q.NumTerms(), rhat)]++
+	}
+	best := core.TypeKey{}
+	bestN := 0
+	for key, n := range counts {
+		// High-band keys have substantial estimates and relevancies, so
+		// a simulated drift actually moves the numbers.
+		if key.Band != core.BandHigh || n < minCands || n <= bestN {
+			continue
+		}
+		if _, ok := h.model.DBs[0].EDs[key]; ok {
+			best, bestN = key, n
+		}
+	}
+	if bestN == 0 {
+		t.Fatal("no suitable query type with enough workload queries")
+	}
+	return Alert{DB: h.model.DBs[0].Name, DBIdx: 0, Key: best}
+}
+
+// fakeHost implements Host over the harness. probeValue maps a probe
+// to the "current" (possibly drifted) collection's answer; it receives
+// the 0-based probe sequence number, the query's estimate and the real
+// undrifted relevancy.
+type fakeHost struct {
+	h          *harness
+	probeValue func(call int, rhat, real float64) (float64, error)
+
+	mu      sync.Mutex
+	version int64
+	model   *core.Model
+	calls   int
+	commits int
+}
+
+func newFakeHost(h *harness) *fakeHost {
+	return &fakeHost{h: h, version: 1, model: h.model,
+		probeValue: func(_ int, _, real float64) (float64, error) { return real, nil }}
+}
+
+func (f *fakeHost) CloneServing() (int64, *core.Model) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.version, f.model.Clone()
+}
+
+func (f *fakeHost) Probe(ctx context.Context, dbIdx int, query string) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	real, err := f.h.rel.Probe(f.h.tb.DB(dbIdx), query)
+	if err != nil {
+		return 0, err
+	}
+	rhat := f.h.rel.Estimate(f.h.model.Summaries.Summaries[dbIdx], query)
+	f.mu.Lock()
+	call := f.calls
+	f.calls++
+	f.mu.Unlock()
+	return f.probeValue(call, rhat, real)
+}
+
+func (f *fakeHost) Commit(baseVersion int64, candidate *core.Model, db string, key core.TypeKey, val Validation) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if baseVersion != f.version {
+		return 0, ErrSuperseded
+	}
+	f.version++
+	f.model = candidate
+	f.commits++
+	return f.version, nil
+}
+
+// waitTasks polls until n tasks reached a terminal state.
+func waitTasks(t *testing.T, r *Refresher, n int64) Stats {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		s := r.Stats()
+		if s.Refreshes+s.Rollbacks+s.Aborted+s.Superseded >= n {
+			return s
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("refresh tasks did not finish: %+v", r.Stats())
+	return Stats{}
+}
+
+// TestRefreshRetrainsDriftedKey drives the happy path: the collection
+// drifts (probes now answer 3x the estimate — a new, consistent +200%
+// error regime the stale ED has never seen), the candidate retrained
+// on fresh probes beats the stale serving model on holdout, and the
+// commit replaces only the alerted ED.
+func TestRefreshRetrainsDriftedKey(t *testing.T) {
+	h := buildHarness(t)
+	host := newFakeHost(h)
+	host.probeValue = func(_ int, rhat, _ float64) (float64, error) { return 3 * rhat, nil }
+	alert := h.alertFor(t, 24)
+
+	reg := obs.NewRegistry()
+	r := New(Config{
+		ProbeBudget: 48, MinProbes: 12, HoldoutEvery: 4,
+		Cooldown: time.Hour, Queries: h.querySource, Metrics: reg,
+	}, host)
+	defer r.Stop()
+
+	beforeObs := h.model.DBs[0].EDs[alert.Key].Observations()
+	otherKey := core.TypeKey{}
+	for k := range h.model.DBs[0].EDs {
+		if k != alert.Key {
+			otherKey = k
+			break
+		}
+	}
+
+	r.Alert(alert)
+	s := waitTasks(t, r, 1)
+	if s.Refreshes != 1 || s.Rollbacks != 0 || s.Aborted != 0 {
+		t.Fatalf("stats = %+v, want one accepted refresh", s)
+	}
+	v := s.LastValidation
+	if v == nil || !v.Accepted {
+		t.Fatalf("missing/unaccepted validation: %+v", v)
+	}
+	if v.NewScore >= v.OldScore {
+		t.Errorf("retrained ED did not improve on holdout: old %.4f new %.4f", v.OldScore, v.NewScore)
+	}
+	if v.ProbesSpent > 48 {
+		t.Errorf("task spent %d probes, budget 48", v.ProbesSpent)
+	}
+	if v.DB != alert.DB || v.QueryType != alert.Key.String() {
+		t.Errorf("validation names %s/%s, want %s/%s", v.DB, v.QueryType, alert.DB, alert.Key)
+	}
+
+	host.mu.Lock()
+	serving, version := host.model, host.version
+	host.mu.Unlock()
+	if version != 2 || host.commits != 1 {
+		t.Fatalf("version=%d commits=%d after one refresh", version, host.commits)
+	}
+	if serving == h.model {
+		t.Fatal("commit published the original model, not a copy-on-write successor")
+	}
+	// Only the alerted key was rebuilt: it now holds the fresh probe
+	// observations, while untouched keys keep their trained counts.
+	newED := serving.DBs[0].EDs[alert.Key]
+	if newED.Observations() == beforeObs {
+		t.Error("alerted ED was not rebuilt")
+	}
+	if got, want := serving.DBs[0].EDs[otherKey].Observations(), h.model.DBs[0].EDs[otherKey].Observations(); got != want {
+		t.Errorf("untouched key %s changed: %d -> %d observations", otherKey, want, got)
+	}
+	// The original serving model must be untouched (copy-on-write).
+	if got := h.model.DBs[0].EDs[alert.Key].Observations(); got != beforeObs {
+		t.Errorf("refresh mutated the serving model: %d -> %d observations", beforeObs, got)
+	}
+	if c := reg.Counter("mp_refresh_total", obs.Labels{"outcome": "ok"}).Value(); c != 1 {
+		t.Errorf("mp_refresh_total{outcome=ok} = %d", c)
+	}
+}
+
+// TestRefreshRollsBackRegression forces a candidate that fits its
+// training probes but regresses on holdout: with Concurrency 1 the
+// probe order matches the interleaved split, so train positions
+// observe a near-total collapse (3% of the estimate, error ratio
+// ≈ −0.97) while holdout positions answer truthfully. The candidate ED
+// concentrates its mass in the [−1, −0.9) bin, where truthful
+// high-band errors — overwhelmingly positive on this testbed — never
+// land, so the serving distribution fits the holdout better,
+// validation fails, nothing is committed, and the rollback is counted.
+func TestRefreshRollsBackRegression(t *testing.T) {
+	h := buildHarness(t)
+	host := newFakeHost(h)
+	const holdoutEvery = 4
+	host.probeValue = func(call int, rhat, real float64) (float64, error) {
+		if call%holdoutEvery == holdoutEvery-1 {
+			return real, nil // holdout: no drift
+		}
+		return 0.03 * rhat, nil // training slice: collapse drift
+	}
+	alert := h.alertFor(t, 24)
+
+	reg := obs.NewRegistry()
+	r := New(Config{
+		ProbeBudget: 48, MinProbes: 12, HoldoutEvery: holdoutEvery,
+		Concurrency: 1, MaxRegression: 0.05,
+		Cooldown: time.Hour, Queries: h.querySource, Metrics: reg,
+	}, host)
+	defer r.Stop()
+
+	r.Alert(alert)
+	s := waitTasks(t, r, 1)
+	if s.Rollbacks != 1 || s.Refreshes != 0 {
+		t.Fatalf("stats = %+v, want one rollback", s)
+	}
+	if v := s.LastValidation; v == nil || v.Accepted || v.NewScore <= v.OldScore {
+		t.Fatalf("validation should record the regression: %+v", v)
+	}
+	if host.commits != 0 || host.version != 1 {
+		t.Fatalf("rollback must not publish: commits=%d version=%d", host.commits, host.version)
+	}
+	if c := reg.Counter("mp_refresh_rollbacks_total", nil).Value(); c != 1 {
+		t.Errorf("mp_refresh_rollbacks_total = %d", c)
+	}
+}
+
+// TestRefreshAborts covers the no-publish paths that never touch the
+// model: no query source, not enough matching workload queries, and
+// probe failures below MinProbes.
+func TestRefreshAborts(t *testing.T) {
+	h := buildHarness(t)
+	alert := h.alertFor(t, 24)
+
+	t.Run("no query source", func(t *testing.T) {
+		host := newFakeHost(h)
+		r := New(Config{Cooldown: time.Hour}, host)
+		defer r.Stop()
+		r.Alert(alert)
+		if s := waitTasks(t, r, 1); s.Aborted != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+		if host.commits != 0 {
+			t.Error("aborted task must not commit")
+		}
+	})
+	t.Run("probes fail", func(t *testing.T) {
+		host := newFakeHost(h)
+		host.probeValue = func(int, float64, float64) (float64, error) {
+			return 0, fmt.Errorf("backend down")
+		}
+		r := New(Config{ProbeBudget: 32, MinProbes: 8, Cooldown: time.Hour, Queries: h.querySource}, host)
+		defer r.Stop()
+		r.Alert(alert)
+		s := waitTasks(t, r, 1)
+		if s.Aborted != 1 || host.commits != 0 {
+			t.Fatalf("stats = %+v commits = %d", s, host.commits)
+		}
+		if s.LastValidation == nil || s.LastValidation.ProbesSpent == 0 {
+			t.Error("aborted-after-probing task should still report probes spent")
+		}
+	})
+	t.Run("bad database index", func(t *testing.T) {
+		host := newFakeHost(h)
+		r := New(Config{Cooldown: time.Hour, Queries: h.querySource}, host)
+		defer r.Stop()
+		r.Alert(Alert{DB: "nope", DBIdx: 99, Key: alert.Key})
+		if s := waitTasks(t, r, 1); s.Aborted != 1 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+}
+
+// TestRefreshSuperseded: a hot-reload between clone and commit bumps
+// the serving version, so the host rejects the stale candidate.
+func TestRefreshSuperseded(t *testing.T) {
+	h := buildHarness(t)
+	host := newFakeHost(h)
+	host.probeValue = func(call int, rhat, _ float64) (float64, error) {
+		if call == 0 {
+			// Simulate an operator reload racing the refresh.
+			host.mu.Lock()
+			host.version++
+			host.mu.Unlock()
+		}
+		return 3 * rhat, nil
+	}
+	alert := h.alertFor(t, 24)
+	r := New(Config{ProbeBudget: 48, MinProbes: 12, Cooldown: time.Hour, Queries: h.querySource}, host)
+	defer r.Stop()
+	r.Alert(alert)
+	s := waitTasks(t, r, 1)
+	if s.Superseded != 1 || host.commits != 0 {
+		t.Fatalf("stats = %+v commits = %d, want superseded, no commit", s, host.commits)
+	}
+}
+
+// TestAlertIntake exercises coalescing, cooldown suppression and
+// queue-overflow drops without letting any task run: the worker is
+// parked on a blocked clone.
+func TestAlertIntake(t *testing.T) {
+	h := buildHarness(t)
+	host := newFakeHost(h)
+	release := make(chan struct{})
+	blocking := &blockingHost{Host: host, entered: make(chan struct{}), release: release}
+	r := New(Config{QueueSize: 1, Cooldown: time.Hour, Queries: h.querySource}, blocking)
+
+	a := Alert{DB: h.model.DBs[0].Name, DBIdx: 0, Key: core.TypeKey{Terms: 2, Band: core.BandHigh}}
+	b := Alert{DB: h.model.DBs[0].Name, DBIdx: 0, Key: core.TypeKey{Terms: 3, Band: core.BandHigh}}
+	c := Alert{DB: h.model.DBs[0].Name, DBIdx: 0, Key: core.TypeKey{Terms: 2, Band: core.BandLow}}
+
+	r.Alert(a) // picked up by the worker, parked on the clone
+	<-blocking.entered
+	r.Alert(b)           // fills the queue
+	r.Alert(b)           // coalesced with the queued copy
+	r.Alert(c)           // queue full: dropped
+	r.Alert(a)           // a is mid-task (cooldown stamped): suppressed
+
+	s := r.Stats()
+	if s.Queued != 2 || s.Coalesced != 1 || s.Dropped != 1 || s.Cooldown != 1 {
+		t.Errorf("intake stats = %+v, want queued=2 coalesced=1 dropped=1 cooldown=1", s)
+	}
+	close(release)
+	waitTasks(t, r, 2)
+	r.Stop()
+	r.Alert(a) // after Stop: dropped, never panics
+	if s := r.Stats(); s.Dropped != 2 {
+		t.Errorf("post-Stop alert not dropped: %+v", s)
+	}
+	// Stop is idempotent, and a nil Refresher ignores everything.
+	r.Stop()
+	var nilR *Refresher
+	nilR.Alert(a)
+	nilR.Stop()
+	_ = nilR.Stats()
+}
+
+// blockingHost parks CloneServing until released, so tests can observe
+// the queue state while the worker is busy.
+type blockingHost struct {
+	Host
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingHost) CloneServing() (int64, *core.Model) {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	return b.Host.CloneServing()
+}
+
+// TestParseTypeKeyRoundTrip pins the alert-wiring contract: the string
+// the drift detector reports parses back to the original key.
+func TestParseTypeKeyRoundTrip(t *testing.T) {
+	for _, key := range core.DefaultClassifier().AllKeys() {
+		got, err := core.ParseTypeKey(key.String())
+		if err != nil || got != key {
+			t.Errorf("ParseTypeKey(%q) = %v, %v", key.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "x", "2-term/", "2-term/mid", "-term/high", "0-term/low", "two-term/low"} {
+		if _, err := core.ParseTypeKey(bad); err == nil {
+			t.Errorf("ParseTypeKey(%q) should fail", bad)
+		}
+	}
+	if !strings.Contains(func() string {
+		_, err := core.ParseTypeKey("bogus")
+		return err.Error()
+	}(), "bogus") {
+		t.Error("parse error should quote the input")
+	}
+}

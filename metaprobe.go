@@ -50,6 +50,7 @@ import (
 	"metaprobe/internal/obs"
 	"metaprobe/internal/probeexec"
 	"metaprobe/internal/queries"
+	"metaprobe/internal/refresh"
 	"metaprobe/internal/stats"
 	"metaprobe/internal/summary"
 	"metaprobe/internal/textindex"
@@ -109,6 +110,15 @@ type (
 	// BreakerState is a backend circuit breaker's state (closed,
 	// half-open or open), surfaced through the mp_breaker_state metric.
 	BreakerState = probeexec.BreakerState
+	// RefreshConfig tunes the online model refresher that retrains
+	// drifted error distributions in the background. See Config.Refresh.
+	RefreshConfig = refresh.Config
+	// RefreshStats are the refresher's lifetime counters. See
+	// Metasearcher.RefreshStats.
+	RefreshStats = refresh.Stats
+	// RefreshValidation is one refresh task's holdout audit: the old and
+	// new models' prediction errors and whether the candidate shipped.
+	RefreshValidation = refresh.Validation
 )
 
 // NewMetrics returns an empty metrics registry for Config.Metrics.
@@ -192,6 +202,18 @@ type Config struct {
 	// closed online). Implementations should be fast and debounce: a
 	// persistently drifted key re-alerts every Drift.Interval probes.
 	OnDrift func(DriftAlert)
+	// Refresh, when non-nil alongside Drift, closes the drift loop
+	// automatically: every drift alert is handed to a background
+	// refresher that re-probes the drifted (database, query type) under
+	// a bounded budget, rebuilds its error distribution, validates the
+	// candidate model on a probe holdout, and hot-swaps it in — or
+	// rolls it back when validation regresses. RefreshConfig.Queries
+	// must supply workload-like probe queries; without it every refresh
+	// task aborts. Refresh probes run through the same probe-execution
+	// pool as live selections (Config.ProbeConcurrency et al.), so
+	// refresh traffic cannot starve serving. Call Metasearcher.Close to
+	// stop the background worker.
+	Refresh *RefreshConfig
 	// ProbeConcurrency bounds the probes in flight on the context-aware
 	// selection paths (SelectWithCertaintyContext and friends): a
 	// global cap shared by every concurrent selection, plus an optional
@@ -239,25 +261,56 @@ func SimilarityModelConfig() core.Config { return core.SimilarityConfig() }
 // Metasearcher mediates a set of databases: it estimates, selects, and
 // probes on behalf of user queries, and fuses the final results.
 type Metasearcher struct {
-	tb    *hidden.Testbed
-	sums  *summary.Set
-	rel   Relevancy
-	cfg   Config
-	model *core.Model
+	tb   *hidden.Testbed
+	sums *summary.Set
+	rel  Relevancy
+	cfg  Config
+	// version is the serving model snapshot, read RCU-style: selections
+	// load the pointer once and keep that version for their lifetime;
+	// Train, ReloadModel and the online refresher publish successors
+	// with a single atomic store, so a swap never blocks a selection.
+	version atomic.Pointer[core.ModelVersion]
 	// drift is the online ED drift detector, built from cfg.Drift once
 	// a model exists (nil when disabled or untrained).
 	drift *obs.DriftDetector
+	// refresher retrains drifted EDs in the background (nil unless
+	// cfg.Refresh is set).
+	refresher *refresh.Refresher
 	// exec runs context-aware probes: worker pool, circuit breakers,
 	// hedging, speculative rounds (internal/probeexec).
 	exec *probeexec.Executor
-	// modelMu serializes access to the trained model's mutable state:
-	// Model.ObserveProbe (online refinement) mutates the ED histograms
-	// that NewSelection and the drift detector read, so concurrent
-	// selections — and one selection's speculative probes — must take
-	// this lock around any model read or write after training.
+	// modelMu serializes access to the serving model's mutable state
+	// and to version publication: Model.ObserveProbe (online
+	// refinement) mutates the ED histograms that NewSelection and the
+	// drift detector read, and a refresh must clone and commit against
+	// a quiescent model — so concurrent selections, probe feedback and
+	// version swaps all take this lock. Readers that only need the
+	// pointer (Trained, ModelInfo) load it atomically without the lock.
 	modelMu sync.Mutex
 	// selSeq numbers selections for trace/log correlation IDs.
 	selSeq atomic.Int64
+}
+
+// serving returns the serving model, nil before training.
+func (m *Metasearcher) serving() *core.Model {
+	if v := m.version.Load(); v != nil {
+		return v.Model
+	}
+	return nil
+}
+
+// publish stores the successor version holding model. Callers must
+// hold modelMu.
+func (m *Metasearcher) publish(model *core.Model, source, refreshedDB string) *core.ModelVersion {
+	now := time.Now()
+	var next *core.ModelVersion
+	if cur := m.version.Load(); cur != nil {
+		next = cur.Next(model, source, refreshedDB, now)
+	} else {
+		next = core.NewModelVersion(model, source, now)
+	}
+	m.version.Store(next)
+	return next
 }
 
 // New builds a metasearcher over the given databases and their content
@@ -292,7 +345,7 @@ func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
 	if c.Metrics != nil {
 		registerSelectionMetrics(c.Metrics, tb)
 	}
-	return &Metasearcher{
+	m := &Metasearcher{
 		tb:   tb,
 		sums: &summary.Set{Summaries: sums},
 		rel:  c.Relevancy,
@@ -305,7 +358,22 @@ func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
 			Breaker:      c.Breaker,
 			Metrics:      c.Metrics,
 		}),
-	}, nil
+	}
+	if c.Refresh != nil {
+		rc := *c.Refresh
+		if rc.Metrics == nil {
+			rc.Metrics = c.Metrics
+		}
+		m.refresher = refresh.New(rc, refreshHost{m})
+	}
+	return m, nil
+}
+
+// Close stops the background refresher (a no-op without
+// Config.Refresh). The metasearcher remains usable for selections;
+// drift alerts arriving after Close are dropped.
+func (m *Metasearcher) Close() {
+	m.refresher.Stop()
 }
 
 // Databases returns the mediated database names in order.
@@ -318,7 +386,7 @@ func (m *Metasearcher) Databases() []string {
 }
 
 // Trained reports whether the error model has been learned.
-func (m *Metasearcher) Trained() bool { return m.model != nil }
+func (m *Metasearcher) Trained() bool { return m.version.Load() != nil }
 
 // Train learns the per-database, per-query-type error distributions by
 // issuing the training queries to every database (Section 4 of the
@@ -333,33 +401,91 @@ func (m *Metasearcher) Train(trainQueries []string) error {
 	if err != nil {
 		return fmt.Errorf("metaprobe: %w", err)
 	}
-	m.model = model
-	m.initDrift()
+	m.modelMu.Lock()
+	m.publish(model, "train", "")
+	m.modelMu.Unlock()
+	m.initDrift(model)
 	return nil
 }
 
-// initDrift builds the drift detector from the trained model: every
-// (database, query type) whose ED carries at least MinObservations
-// training samples gets a reference sample to test fresh probe errors
-// against. Must run after m.model is set; a nil cfg.Drift disables
-// detection entirely.
-func (m *Metasearcher) initDrift() {
-	if m.cfg.Drift == nil || m.model == nil {
+// initDrift builds the drift detector (once) and points every
+// monitored (database, query type) at the model's trained EDs: each
+// key whose ED carries at least MinObservations training samples gets
+// a reference sample to test fresh probe errors against. A nil
+// cfg.Drift disables detection entirely.
+func (m *Metasearcher) initDrift(model *core.Model) {
+	if m.cfg.Drift == nil {
 		return
 	}
-	d := obs.NewDriftDetector(*m.cfg.Drift)
-	d.SetMetrics(m.cfg.Metrics)
-	d.SetOnAlert(m.cfg.OnDrift)
-	minObs := m.model.Cfg.MinObservations
-	for i, dm := range m.model.DBs {
+	if m.drift == nil {
+		d := obs.NewDriftDetector(*m.cfg.Drift)
+		d.SetMetrics(m.cfg.Metrics)
+		d.SetOnAlert(m.onDriftAlert)
+		m.drift = d
+	}
+	m.setDriftReferences(model)
+}
+
+// setDriftReferences re-anchors the drift detector on model's EDs,
+// resetting each re-anchored key's sliding window.
+func (m *Metasearcher) setDriftReferences(model *core.Model) {
+	if m.drift == nil {
+		return
+	}
+	minObs := model.Cfg.MinObservations
+	for i, dm := range model.DBs {
 		name := m.tb.DB(i).Name()
 		for key, ed := range dm.EDs {
 			if ed.Observations() >= minObs {
-				d.SetReference(name, key.String(), ed.ReferenceSample(0))
+				m.drift.SetReference(name, key.String(), ed.ReferenceSample(0))
 			}
 		}
 	}
-	m.drift = d
+}
+
+// onDriftAlert fans one failed drift test out to the user callback and
+// to the background refresher.
+func (m *Metasearcher) onDriftAlert(a DriftAlert) {
+	if m.cfg.OnDrift != nil {
+		m.cfg.OnDrift(a)
+	}
+	if m.refresher == nil {
+		return
+	}
+	key, err := core.ParseTypeKey(a.QueryType)
+	if err != nil {
+		return
+	}
+	if i := m.tb.IndexOf(a.DB); i >= 0 {
+		m.refresher.Alert(refresh.Alert{DB: a.DB, DBIdx: i, Key: key})
+	}
+}
+
+// RefreshNow enqueues an out-of-band refresh of one (database, query
+// type) — the same path a drift alert takes — for operators who know a
+// collection changed without waiting for detection. queryType is the
+// drift-alert form, e.g. "2-term/high". The refresh runs in the
+// background; follow it through RefreshStats or /debug/model.
+func (m *Metasearcher) RefreshNow(db, queryType string) error {
+	if m.refresher == nil {
+		return fmt.Errorf("metaprobe: online refresh not configured (Config.Refresh)")
+	}
+	i := m.tb.IndexOf(db)
+	if i < 0 {
+		return fmt.Errorf("metaprobe: unknown database %q", db)
+	}
+	key, err := core.ParseTypeKey(queryType)
+	if err != nil {
+		return fmt.Errorf("metaprobe: %w", err)
+	}
+	m.refresher.Alert(refresh.Alert{DB: db, DBIdx: i, Key: key})
+	return nil
+}
+
+// RefreshStats reports the background refresher's lifetime counters
+// and its most recent validation (zero value without Config.Refresh).
+func (m *Metasearcher) RefreshStats() RefreshStats {
+	return m.refresher.Stats()
 }
 
 // DriftStatuses reports the state of every drift-monitored (database,
@@ -493,13 +619,20 @@ func (m *Metasearcher) probeFeedback(sel *core.Selection, i int, query string, n
 	}
 	m.modelMu.Lock()
 	defer m.modelMu.Unlock()
+	// Feedback lands on the current serving model, which may be newer
+	// than the version this selection was built from: fresh probe data
+	// belongs to whatever model serves next.
+	model := m.serving()
+	if model == nil {
+		return nil
+	}
 	if m.cfg.OnlineRefinement {
-		if err := m.model.ObserveProbe(i, query, numTerms, v); err != nil {
+		if err := model.ObserveProbe(i, query, numTerms, v); err != nil {
 			return err
 		}
 	}
 	if m.drift != nil {
-		m.observeDrift(sel, i, numTerms, v)
+		m.observeDrift(model, sel, i, numTerms, v)
 	}
 	return nil
 }
@@ -570,10 +703,10 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 // support (see ED.ReferenceSample) so the KS comparison is apples to
 // apples. Probes whose query type has no trained ED are skipped; the
 // detector has no reference to test them against anyway.
-func (m *Metasearcher) observeDrift(sel *core.Selection, i, numTerms int, actual float64) {
+func (m *Metasearcher) observeDrift(model *core.Model, sel *core.Selection, i, numTerms int, actual float64) {
 	rhat := sel.Estimate(i)
-	key := m.model.Cfg.Classifier.Classify(numTerms, rhat)
-	ed, ok := m.model.DBs[i].EDs[key]
+	key := model.Cfg.Classifier.Classify(numTerms, rhat)
+	ed, ok := model.DBs[i].EDs[key]
 	if !ok {
 		return
 	}
@@ -736,7 +869,7 @@ func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64,
 
 // selection builds the per-query state, requiring a trained model.
 func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Selection, error) {
-	if m.model == nil {
+	if !m.Trained() {
 		return nil, fmt.Errorf("metaprobe: model not trained; call Train first or use SelectBaseline")
 	}
 	if k <= 0 || k > m.tb.Len() {
@@ -745,10 +878,11 @@ func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Sele
 	numTerms := len(strings.Fields(query))
 	// NewSelection reads the ED histograms that online refinement
 	// mutates; the lock makes selection building safe against probe
-	// feedback from concurrent selections. The returned Selection owns
-	// its RDs, so it needs no further synchronization.
+	// feedback from concurrent selections and against a refresh swap
+	// mid-build. The returned Selection owns its RDs, so a version
+	// published later never affects this selection.
 	m.modelMu.Lock()
-	sel := m.model.NewSelection(query, numTerms, metric, k)
+	sel := m.serving().NewSelection(query, numTerms, metric, k)
 	m.modelMu.Unlock()
 	return sel.WithBestSetOptions(m.cfg.BestSet), nil
 }
@@ -801,6 +935,7 @@ func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
+	classifier := m.serving().Cfg.Classifier
 	marginals := sel.Marginals()
 	numTerms := len(strings.Fields(query))
 	out := make([]Explanation, m.tb.Len())
@@ -811,19 +946,40 @@ func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
 			Estimate:          rhat,
 			ExpectedRelevancy: sel.RD(i).Mean(),
 			MembershipProb:    marginals[i],
-			QueryType:         m.model.Cfg.Classifier.Classify(numTerms, rhat).String(),
+			QueryType:         classifier.Classify(numTerms, rhat).String(),
 		}
 	}
 	return out, nil
 }
 
 // SaveModel persists the trained error model (including the content
-// summaries) as JSON, so future sessions can skip training.
+// summaries) as a versioned, checksummed snapshot written atomically
+// (temp file + fsync + rename), so future sessions can skip training
+// and a crash mid-write never corrupts the previous snapshot.
 func (m *Metasearcher) SaveModel(path string) error {
-	if m.model == nil {
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	model := m.serving()
+	if model == nil {
 		return fmt.Errorf("metaprobe: nothing to save; call Train first")
 	}
-	return m.model.Save(path)
+	// The lock keeps online refinement from mutating histograms while
+	// they are encoded.
+	return model.Save(path)
+}
+
+// checkModelMatches validates a loaded model against the mediated
+// databases.
+func checkModelMatches(dbs []Database, model *core.Model) error {
+	if len(dbs) != len(model.DBs) {
+		return fmt.Errorf("metaprobe: %d databases for a %d-database model", len(dbs), len(model.DBs))
+	}
+	for i, db := range dbs {
+		if db.Name() != model.DBs[i].Name {
+			return fmt.Errorf("metaprobe: database %d is %q but the model expects %q", i, db.Name(), model.DBs[i].Name)
+		}
+	}
+	return nil
 }
 
 // NewFromModel builds a metasearcher from databases and a previously
@@ -834,22 +990,170 @@ func NewFromModel(dbs []Database, modelPath string, cfg *Config) (*Metasearcher,
 	if err != nil {
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
-	if len(dbs) != len(model.DBs) {
-		return nil, fmt.Errorf("metaprobe: %d databases for a %d-database model", len(dbs), len(model.DBs))
-	}
-	for i, db := range dbs {
-		if db.Name() != model.DBs[i].Name {
-			return nil, fmt.Errorf("metaprobe: database %d is %q but the model expects %q", i, db.Name(), model.DBs[i].Name)
-		}
+	if err := checkModelMatches(dbs, model); err != nil {
+		return nil, err
 	}
 	ms, err := New(dbs, model.Summaries.Summaries, cfg)
 	if err != nil {
 		return nil, err
 	}
 	ms.rel = model.Rel
-	ms.model = model
-	ms.initDrift()
+	ms.modelMu.Lock()
+	ms.publish(model, "load", "")
+	ms.modelMu.Unlock()
+	ms.initDrift(model)
 	return ms, nil
+}
+
+// ReloadModel hot-swaps the serving model with one loaded from disk,
+// without interrupting traffic: in-flight selections finish on the
+// version they started with, and the next selection sees the reloaded
+// model. The file must describe the same databases and relevancy
+// definition as the running metasearcher. Drift references re-anchor
+// on the reloaded EDs, and any refresh committed against the old
+// version is rejected as superseded.
+func (m *Metasearcher) ReloadModel(path string) error {
+	model, _, err := core.LoadModelInfo(path)
+	if err != nil {
+		return fmt.Errorf("metaprobe: %w", err)
+	}
+	dbs := make([]Database, m.tb.Len())
+	for i := range dbs {
+		dbs[i] = m.tb.DB(i)
+	}
+	if err := checkModelMatches(dbs, model); err != nil {
+		return err
+	}
+	if model.Rel.Name() != m.rel.Name() {
+		return fmt.Errorf("metaprobe: model uses relevancy %q but the metasearcher runs %q",
+			model.Rel.Name(), m.rel.Name())
+	}
+	m.modelMu.Lock()
+	m.publish(model, "reload", "")
+	m.modelMu.Unlock()
+	m.initDrift(model)
+	return nil
+}
+
+// ModelInfo describes the serving model version for operators (the
+// /debug/model endpoint renders it as JSON).
+type ModelInfo struct {
+	// Trained is false before Train or NewFromModel; the remaining
+	// fields are then zero.
+	Trained bool `json:"trained"`
+	// Version counts published models (1 = first train/load); each
+	// hot-swap — reload or accepted refresh — increments it.
+	Version int64 `json:"version,omitempty"`
+	// Source is how this version was published: "train", "load",
+	// "reload" or "refresh".
+	Source string `json:"source,omitempty"`
+	// CreatedAt is the version's publication time and AgeSeconds its
+	// age now.
+	CreatedAt  time.Time `json:"createdAt,omitempty"`
+	AgeSeconds float64   `json:"ageSeconds,omitempty"`
+	// Databases counts the mediated databases.
+	Databases int `json:"databases,omitempty"`
+	// RefreshedAt maps database name → last accepted online refresh
+	// (absent for databases never refreshed).
+	RefreshedAt map[string]time.Time `json:"refreshedAt,omitempty"`
+	// Refresh carries the refresher counters and the last validation
+	// scores; nil without Config.Refresh.
+	Refresh *RefreshStats `json:"refresh,omitempty"`
+}
+
+// ModelInfo reports the serving model version, its age and provenance,
+// per-database refresh timestamps, and refresher statistics.
+func (m *Metasearcher) ModelInfo() ModelInfo {
+	v := m.version.Load()
+	if v == nil {
+		return ModelInfo{}
+	}
+	info := ModelInfo{
+		Trained:    true,
+		Version:    v.Version,
+		Source:     v.Source,
+		CreatedAt:  v.CreatedAt,
+		AgeSeconds: time.Since(v.CreatedAt).Seconds(),
+		Databases:  len(v.Model.DBs),
+	}
+	if len(v.RefreshedAt) > 0 {
+		info.RefreshedAt = make(map[string]time.Time, len(v.RefreshedAt))
+		for db, ts := range v.RefreshedAt {
+			info.RefreshedAt[db] = ts
+		}
+	}
+	if m.refresher != nil {
+		s := m.refresher.Stats()
+		info.Refresh = &s
+	}
+	return info
+}
+
+// refreshHost adapts the Metasearcher for the background refresher:
+// cloning the serving model, probing through the shared executor (so
+// refresh traffic is subject to the same concurrency limits, breakers
+// and hedging as live selections), and committing validated candidates
+// with an atomic version swap.
+type refreshHost struct{ m *Metasearcher }
+
+func (h refreshHost) CloneServing() (int64, *core.Model) {
+	m := h.m
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	v := m.version.Load()
+	if v == nil {
+		return 0, nil
+	}
+	// The lock quiesces online refinement while histograms are copied.
+	return v.Version, v.Model.Clone()
+}
+
+func (h refreshHost) Probe(ctx context.Context, dbIdx int, query string) (float64, error) {
+	m := h.m
+	db := m.tb.DB(dbIdx)
+	return m.exec.Probe(ctx, db.Name(), func(ctx context.Context) (float64, error) {
+		return m.rel.Probe(hidden.WithContext(ctx, db), query)
+	})
+}
+
+func (h refreshHost) Commit(baseVersion int64, candidate *core.Model, db string, key core.TypeKey, val refresh.Validation) (int64, error) {
+	m := h.m
+	dbIdx := m.tb.IndexOf(db)
+	if dbIdx < 0 {
+		return 0, fmt.Errorf("metaprobe: refresh commit for unknown database %q", db)
+	}
+	retrained, ok := candidate.DBs[dbIdx].EDs[key]
+	if !ok {
+		return 0, fmt.Errorf("metaprobe: refresh candidate carries no ED for %s/%s", db, key)
+	}
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	cur := m.version.Load()
+	if cur == nil || cur.Version != baseVersion {
+		return 0, refresh.ErrSuperseded
+	}
+	// Copy-on-write at the narrowest granularity: the successor shares
+	// every ED with the serving model — so refinement observations that
+	// landed while the refresh probed are kept — except the single
+	// retrained one. The lock makes the swap atomic with respect to
+	// selections and feedback.
+	next := &core.Model{Cfg: cur.Model.Cfg, Rel: cur.Model.Rel, Summaries: cur.Model.Summaries,
+		DBs: make([]*core.DBModel, len(cur.Model.DBs))}
+	copy(next.DBs, cur.Model.DBs)
+	dm := &core.DBModel{Name: cur.Model.DBs[dbIdx].Name, Pooled: cur.Model.DBs[dbIdx].Pooled,
+		EDs: make(map[core.TypeKey]*core.ED, len(cur.Model.DBs[dbIdx].EDs))}
+	for k, ed := range cur.Model.DBs[dbIdx].EDs {
+		dm.EDs[k] = ed
+	}
+	dm.EDs[key] = retrained
+	next.DBs[dbIdx] = dm
+	nv := m.publish(next, "refresh", db)
+	// Re-anchor the drift window on the retrained distribution so the
+	// detector tests future probes against what now serves.
+	if m.drift != nil {
+		m.drift.SetReference(db, key.String(), retrained.ReferenceSample(0))
+	}
+	return nv.Version, nil
 }
 
 // Audit computes the realized correctness of a returned answer by

@@ -76,7 +76,7 @@ func TestOnlineRefinement(t *testing.T) {
 
 	countObservations := func() int64 {
 		var total int64
-		for _, dm := range ms.model.DBs {
+		for _, dm := range ms.serving().DBs {
 			for _, ed := range dm.EDs {
 				total += ed.Observations()
 			}

@@ -1,0 +1,286 @@
+package metaprobe
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/stats"
+	"metaprobe/internal/textindex"
+)
+
+// TestRefreshEndToEnd is the acceptance test for the closed drift
+// loop: a database's collection grows ~10× (uniformly — the same topic
+// profile at ten times the volume, so every query's match count scales
+// while summaries and the error model go stale), the drift detector
+// alerts, the background refresher re-probes the alerted (database,
+// query type) keys within its budget, validates the retrained EDs on a
+// holdout, and hot-swaps a successor model — all while concurrent
+// selections keep running with zero failures (run under -race).
+func TestRefreshEndToEnd(t *testing.T) {
+	world := corpus.HealthWorld()
+	specs := corpus.HealthTestbed(0.01)[:6]
+	tb, err := hidden.BuildTestbed(world, specs, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs := make([]Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = tb.DB(i)
+	}
+	sums, err := ExactSummaries(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := gen.TrainTest(stats.NewRNG(4), 150, 150, 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refresher's probe-query source: a held-out workload-like pool,
+	// disjoint from both training and the driving workload.
+	pool, err := gen.Pool(stats.NewRNG(77), 600, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := func(numTerms, n int) []string {
+		var out []string
+		for _, q := range pool {
+			if q.NumTerms() == numTerms {
+				out = append(out, q.String())
+				if len(out) >= n {
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	var alertMu sync.Mutex
+	alerted := make(map[string]bool) // "db|queryType"
+	reg := NewMetrics()
+	cfg := &Config{
+		Metrics: reg,
+		Drift:   &DriftConfig{WindowSize: 16, MinSamples: 16, Interval: 8},
+		OnDrift: func(a DriftAlert) {
+			alertMu.Lock()
+			alerted[a.DB+"|"+a.QueryType] = true
+			alertMu.Unlock()
+		},
+		Refresh: &RefreshConfig{
+			ProbeBudget:  64,
+			MinProbes:    12,
+			HoldoutEvery: 4,
+			// Short cooldown so a rolled-back attempt retries as the
+			// detector re-alerts on the still-drifted key.
+			Cooldown: 50 * time.Millisecond,
+			Queries:  source,
+		},
+	}
+	ms, err := New(dbs, sums, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	trainStrs := make([]string, len(train))
+	for i, q := range train {
+		trainStrs[i] = q.String()
+	}
+	if err := ms.Train(trainStrs); err != nil {
+		t.Fatal(err)
+	}
+	if info := ms.ModelInfo(); info.Version != 1 || info.Source != "train" {
+		t.Fatalf("post-train ModelInfo = %+v", info)
+	}
+
+	// Snapshot the trained model's ED pointers: with OnlineRefinement
+	// off, any pointer that differs afterwards was replaced by a refresh
+	// commit — and must belong to an alerted key.
+	trained := ms.serving()
+	origED := make(map[string]*core.ED)
+	for i, dm := range trained.DBs {
+		for key, ed := range dm.EDs {
+			origED[tb.DB(i).Name()+"|"+key.String()] = ed
+		}
+	}
+
+	// The drift: NeuroBase grows to ~10× its size with documents drawn
+	// from its own spec — same topic profile, ten times the volume — so
+	// every query's match count scales while the model serves stale.
+	const driftDB = "NeuroBase"
+	dbIdx := tb.IndexOf(driftDB)
+	if dbIdx < 0 {
+		t.Fatalf("testbed lost %s", driftDB)
+	}
+	local, ok := tb.DB(dbIdx).(*hidden.Local)
+	if !ok {
+		t.Fatalf("%s is not a local database", driftDB)
+	}
+	grown := specs[dbIdx]
+	grown.Name = driftDB + "-x10"
+	grown.NumDocs = local.Size() * 9
+	newDocs, err := world.Generate(grown, stats.NewRNG(23).Fork(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := textindex.DefaultTokenizer()
+	for _, d := range newDocs {
+		terms := make([]string, 0, len(d.Terms))
+		for _, term := range d.Terms {
+			terms = append(terms, tok.Tokenize(term)...)
+		}
+		local.Index().AddTerms(d.ID, terms)
+		local.StoreText(d.ID, d.Text())
+	}
+
+	// Concurrent selections run throughout detection, retraining and the
+	// version swaps; every one of them must succeed (the swap is a
+	// pointer store, never a lock a selection can observe half-way).
+	stop := make(chan struct{})
+	var selWG sync.WaitGroup
+	var selCount int64
+	var selErr error
+	var selErrOnce sync.Once
+	for g := 0; g < 3; g++ {
+		selWG.Add(1)
+		go func(g int) {
+			defer selWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := test[(g*31+i)%len(test)]
+				if _, err := ms.SelectWithCertainty(q.String(), 2, Absolute, 0.9, -1); err != nil {
+					selErrOnce.Do(func() { selErr = err })
+					return
+				}
+				alertMu.Lock()
+				selCount++
+				alertMu.Unlock()
+			}
+		}(g)
+	}
+
+	// Drive the workload over the drifted corpus until a refresh
+	// commits: probes fill the drift windows, alerts queue refreshes,
+	// and rolled-back attempts retry after the cooldown.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && ms.RefreshStats().Refreshes == 0 {
+		for _, q := range test {
+			if _, err := ms.SelectWithCertainty(q.String(), 2, Absolute, 0.99, -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	selWG.Wait()
+	if selErr != nil {
+		t.Fatalf("a selection failed during the refresh window: %v", selErr)
+	}
+	if selCount == 0 {
+		t.Fatal("the concurrent selectors never completed a selection")
+	}
+
+	st := ms.RefreshStats()
+	if st.Refreshes == 0 {
+		t.Fatalf("no refresh was accepted before the deadline: %+v", st)
+	}
+	if st.Queued == 0 {
+		t.Fatal("refresher received no alerts")
+	}
+	tasks := st.Refreshes + st.Rollbacks + st.Aborted + st.Superseded
+	if st.ProbesSpent > tasks*64 {
+		t.Errorf("refresh tasks spent %d probes over %d tasks, budget 64 each", st.ProbesSpent, tasks)
+	}
+	if v := st.LastValidation; v == nil {
+		t.Error("no validation recorded")
+	} else if v.ProbesSpent > 64 {
+		t.Errorf("last task spent %d probes, budget 64", v.ProbesSpent)
+	}
+
+	info := ms.ModelInfo()
+	if info.Version != 1+st.Refreshes {
+		t.Errorf("model version %d after %d accepted refreshes", info.Version, st.Refreshes)
+	}
+	if info.Source != "refresh" {
+		t.Errorf("serving version source = %q, want refresh", info.Source)
+	}
+	if info.RefreshedAt[driftDB].IsZero() {
+		t.Errorf("ModelInfo records no refresh for %s: %+v", driftDB, info.RefreshedAt)
+	}
+
+	// Only alerted keys were retrained: every ED pointer that changed
+	// since training maps to a recorded drift alert, and at least one
+	// did change (the committed refresh).
+	alertMu.Lock()
+	alertedCopy := make(map[string]bool, len(alerted))
+	for k := range alerted {
+		alertedCopy[k] = true
+	}
+	alertMu.Unlock()
+	cur := ms.serving()
+	changed := 0
+	for i, dm := range cur.DBs {
+		name := tb.DB(i).Name()
+		for key, ed := range dm.EDs {
+			id := name + "|" + key.String()
+			if origED[id] == ed {
+				continue
+			}
+			changed++
+			// Undrifted databases may still be retrained — repeated KS
+			// testing eventually raises a false-positive alert — but
+			// nothing is ever retrained without an alert.
+			if !alertedCopy[id] {
+				t.Errorf("ED %s was replaced without a drift alert", id)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("an accepted refresh left every ED pointer unchanged")
+	}
+	// The trained snapshot itself was never mutated (copy-on-write).
+	for key, ed := range trained.DBs[dbIdx].EDs {
+		if origED[driftDB+"|"+key.String()] != ed {
+			t.Errorf("refresh mutated the original model's ED %s", key)
+		}
+	}
+
+	// The refresh outcome counters surface in the exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `mp_refresh_total{outcome="ok"}`) {
+		t.Errorf("metrics output lacks mp_refresh_total{outcome=\"ok\"}:\n%s", grepLines(sb.String(), "mp_refresh"))
+	}
+
+	// Hot reload round-trip: persist the refreshed model and swap it
+	// back in from disk without interrupting traffic.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := ms.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ReloadModel(path); err != nil {
+		t.Fatal(err)
+	}
+	info = ms.ModelInfo()
+	if info.Source != "reload" {
+		t.Errorf("post-reload source = %q", info.Source)
+	}
+	if _, err := ms.SelectWithCertainty(test[0].String(), 2, Absolute, 0.9, -1); err != nil {
+		t.Fatalf("selection after hot reload: %v", err)
+	}
+}
