@@ -38,9 +38,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"time"
 
 	"metaprobe"
+	"metaprobe/internal/core"
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/eval"
 	"metaprobe/internal/hidden"
@@ -93,6 +95,11 @@ type workloadResult struct {
 	// SpeedupVsM1 is the m1 tier's mean latency divided by this tier's
 	// (set on apro-ctx-m2 only): > 1 means speculation bought wall-clock.
 	SpeedupVsM1 float64 `json:"speedup_vs_m1,omitempty"`
+	// SpanOverheadFrac is (traced − untraced)/untraced mean latency of
+	// this tier re-measured with span tracing enabled (apro-ctx-m2
+	// only). The injected probe delay dominates the tier, so values
+	// should sit well within ±5% — CI asserts that bound.
+	SpanOverheadFrac *float64 `json:"span_overhead_frac,omitempty"`
 	// Refreshes counts accepted online model refreshes before the
 	// measurement (drift-refreshed tier only).
 	Refreshes int64 `json:"refreshes,omitempty"`
@@ -333,15 +340,8 @@ func runContextTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.L
 	}
 	var out []workloadResult
 	var m1Mean float64
-	for _, m := range []int{1, 2} {
-		name := fmt.Sprintf("apro-ctx-m%d", m)
-		cenv, reg, err := buildCtxEnv(env, cfg, tmp.Name(), m)
-		if err != nil {
-			return nil, err
-		}
-		log.Info("running workload", "preset", preset, "tier", name,
-			"queries", len(env.workload), "probe_delay", cfg.probeDelay)
-		run := func(q string) (answer, error) {
+	ctxRun := func(cenv *presetEnv) func(q string) (answer, error) {
+		return func(q string) (answer, error) {
 			res, err := cenv.ms.SelectWithCertaintyContext(context.Background(), q, cfg.k, metaprobe.Absolute, cfg.t, -1)
 			if err != nil {
 				return answer{}, err
@@ -349,7 +349,16 @@ func runContextTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.L
 			return answer{set: cenv.indices(res.Databases), certainty: res.Certainty,
 				probes: res.Probes, reached: res.Reached}, nil
 		}
-		res, err := cenv.measure(preset, name, true, cfg, run)
+	}
+	for _, m := range []int{1, 2} {
+		name := fmt.Sprintf("apro-ctx-m%d", m)
+		cenv, reg, err := buildCtxEnv(env, cfg, tmp.Name(), m, false)
+		if err != nil {
+			return nil, err
+		}
+		log.Info("running workload", "preset", preset, "tier", name,
+			"queries", len(env.workload), "probe_delay", cfg.probeDelay)
+		res, err := cenv.measure(preset, name, true, cfg, ctxRun(cenv))
 		if err != nil {
 			return nil, err
 		}
@@ -359,6 +368,23 @@ func runContextTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.L
 			m1Mean = res.LatencyMs.Mean
 		} else if res.LatencyMs.Mean > 0 {
 			res.SpeedupVsM1 = m1Mean / res.LatencyMs.Mean
+			// Re-measure the same tier with span tracing on to bound the
+			// tracer's cost. Every selection records a full span tree
+			// (root, probes, attempts, db.search children), so the delta
+			// against the run above is the tracing overhead; the injected
+			// probe delay dominates, so it should vanish in the mean.
+			tenv, _, err := buildCtxEnv(env, cfg, tmp.Name(), m, true)
+			if err != nil {
+				return nil, err
+			}
+			log.Info("running workload", "preset", preset, "tier", name+"-traced",
+				"queries", len(env.workload), "probe_delay", cfg.probeDelay)
+			traced, err := tenv.measure(preset, name+"-traced", true, cfg, ctxRun(tenv))
+			if err != nil {
+				return nil, err
+			}
+			frac := (traced.LatencyMs.Mean - res.LatencyMs.Mean) / res.LatencyMs.Mean
+			res.SpanOverheadFrac = &frac
 		}
 		out = append(out, res)
 	}
@@ -580,17 +606,25 @@ func indicesIn(tb *hidden.Testbed, names []string) []int {
 
 // buildCtxEnv reloads the trained model over a latency-injected view
 // of the testbed and configures the probe-execution engine with the
-// given speculation width.
-func buildCtxEnv(env *presetEnv, cfg benchConfig, modelPath string, m int) (*presetEnv, *metaprobe.Metrics, error) {
+// given speculation width. With traced set, every selection records a
+// full span tree into a fresh tracer (the overhead-measurement
+// configuration).
+func buildCtxEnv(env *presetEnv, cfg benchConfig, modelPath string, m int, traced bool) (*presetEnv, *metaprobe.Metrics, error) {
 	dbs := make([]metaprobe.Database, env.tb.Len())
 	for i := range dbs {
 		dbs[i] = hidden.NewLatency(env.tb.DB(i), cfg.probeDelay)
 	}
 	reg := metaprobe.NewMetrics()
-	ms, err := metaprobe.NewFromModel(dbs, modelPath, &metaprobe.Config{
+	obs.RegisterBuildInfo(reg, "bench", strconv.Itoa(core.FormatVersion))
+	c := &metaprobe.Config{
 		Speculation: m,
 		Metrics:     reg,
-	})
+	}
+	if traced {
+		c.Spans = metaprobe.NewSpanTracer(0)
+		c.Spans.Bind(reg)
+	}
+	ms, err := metaprobe.NewFromModel(dbs, modelPath, c)
 	if err != nil {
 		return nil, nil, err
 	}

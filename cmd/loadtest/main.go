@@ -11,11 +11,18 @@
 // the policy's runners-up are prefetched concurrently, and a per-query
 // deadline abandons selections that overrun it.
 //
+// With -trace every selection records a span tree (the run reports
+// the slowest query's trace ID), and with -serve the process stays up
+// after the replay serving /metrics (with trace exemplars),
+// /debug/spans, /debug/slo, /healthz and /readyz — so the recorded
+// traces and burn rates can be inspected.
+//
 // Usage:
 //
 //	go run ./cmd/loadtest [-queries 400] [-concurrency 4]
 //	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02] [-v]
 //	    [-speculation 2] [-deadline 2s] [-max-inflight 16]
+//	    [-trace] [-serve :8091]
 package main
 
 import (
@@ -23,16 +30,20 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"metaprobe"
+	"metaprobe/internal/core"
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/eval"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 )
@@ -50,12 +61,14 @@ type loadConfig struct {
 	speculation int
 	deadline    time.Duration
 	maxInflight int
+	trace       bool
+	serve       string
 }
 
 // useContext reports whether the run should go through the
 // context-aware selection path.
 func (c loadConfig) useContext() bool {
-	return c.speculation > 1 || c.deadline > 0 || c.maxInflight > 0
+	return c.speculation > 1 || c.deadline > 0 || c.maxInflight > 0 || c.trace
 }
 
 // loadReport summarizes a run.
@@ -75,9 +88,24 @@ type loadReport struct {
 	// calibration summarizes how well the reported certainty predicted
 	// the realized correctness.
 	calibration obs.CalibrationSnapshot
+	// slowest is the slowest selection and slowestTrace its span-tree
+	// trace ID (set with -trace).
+	slowest      time.Duration
+	slowestTrace string
+	// Probe-cost totals aggregated from every selection's cost account
+	// (populated on the context path).
+	costProbes, costHedgesWasted, costCacheHits int
+	costBytes                                   int64
+	// slo is the end-of-run burn-rate snapshot.
+	slo obs.SLOSnapshot
 	// metrics is the final Prometheus-format snapshot of the registry
 	// every database wrapper and selection call recorded into.
 	metrics string
+
+	// Live handles for -serve (kept past the replay).
+	reg   *metaprobe.Metrics
+	spans *metaprobe.SpanTracer
+	sloT  *metaprobe.SLO
 }
 
 func main() {
@@ -93,6 +121,8 @@ func main() {
 	flag.IntVar(&cfg.speculation, "speculation", 1, "probes dispatched per selection round (>1 enables the context path)")
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-query deadline (0 = none; >0 enables the context path)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "global cap on concurrent probes (0 = executor default; >0 enables the context path)")
+	flag.BoolVar(&cfg.trace, "trace", false, "record a span tree per selection (enables the context path)")
+	flag.StringVar(&cfg.serve, "serve", "", "after the replay, serve /metrics /debug/spans /debug/slo on this address")
 	verbose := flag.Bool("v", false, "log every selection (with its correlation ID) at debug level")
 	flag.Parse()
 
@@ -107,6 +137,18 @@ func main() {
 		os.Exit(1)
 	}
 	printReport(os.Stdout, cfg, rep)
+	if cfg.serve != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(rep.reg))
+		mux.Handle("/debug/spans", span.Handler(rep.spans))
+		mux.Handle("/debug/slo", obs.SLOHandler(rep.sloT))
+		mux.Handle("/healthz", obs.HealthzHandler())
+		mux.Handle("/readyz", obs.ReadyzCheckHandler(nil))
+		logger.Info("serving observability endpoints",
+			"addr", cfg.serve, "endpoints", "/metrics /debug/spans /debug/slo /healthz /readyz")
+		logger.Error(http.ListenAndServe(cfg.serve, mux).Error())
+		os.Exit(1)
+	}
 }
 
 // runLoadTest builds the testbed, trains, and replays the workload.
@@ -120,6 +162,14 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 		return loadReport{}, err
 	}
 	reg := metaprobe.NewMetrics()
+	obs.RegisterBuildInfo(reg, "loadtest", strconv.Itoa(core.FormatVersion))
+	var spans *metaprobe.SpanTracer
+	if cfg.trace {
+		spans = metaprobe.NewSpanTracer(0)
+		spans.Bind(reg)
+	}
+	slo := metaprobe.NewSLO(metaprobe.SLOConfig{})
+	slo.Bind(reg)
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
 		dbs[i] = metaprobe.InstrumentDatabase(hidden.NewLatency(tb.DB(i), cfg.latency), reg)
@@ -137,6 +187,8 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	}
 	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{
 		Metrics:          reg,
+		Spans:            spans,
+		SLO:              slo,
 		Speculation:      cfg.speculation,
 		ProbeConcurrency: metaprobe.ProbeLimits{Global: cfg.maxInflight},
 	})
@@ -190,6 +242,13 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	var wg sync.WaitGroup
 	var firstErr error
 	var errMu sync.Mutex
+	// Aggregated across workers: the slowest selection (with its trace
+	// ID, the waterfall entry point) and the probe-cost totals.
+	var costMu sync.Mutex
+	var slowest time.Duration
+	var slowestTrace string
+	var costProbes, costHedgesWasted, costCacheHits int
+	var costBytes int64
 	start := time.Now()
 	for w := 0; w < cfg.concurrency; w++ {
 		wg.Add(1)
@@ -217,7 +276,20 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 					errMu.Unlock()
 					continue
 				}
-				latencyHist.Observe(time.Since(qStart).Seconds())
+				elapsed := time.Since(qStart)
+				latencyHist.Observe(elapsed.Seconds())
+				costMu.Lock()
+				if elapsed > slowest {
+					slowest = elapsed
+					slowestTrace = res.TraceID
+				}
+				if res.Cost != nil {
+					costProbes += res.Cost.ProbesIssued
+					costHedgesWasted += res.Cost.HedgesWasted
+					costCacheHits += res.Cost.CacheHits
+					costBytes += res.Cost.BytesFetched
+				}
+				costMu.Unlock()
 				topk := golden[qi].TopK(cfg.k)
 				set := make([]int, 0, len(res.Databases))
 				for _, name := range res.Databases {
@@ -266,17 +338,27 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 		return loadReport{}, err
 	}
 	return loadReport{
-		queries:     len(workload),
-		wall:        wall,
-		p50:         time.Duration(qs[0] * float64(time.Second)),
-		p90:         time.Duration(qs[1] * float64(time.Second)),
-		p99:         time.Duration(qs[2] * float64(time.Second)),
-		avgProbes:   probes / float64(len(workload)),
-		reachedFrac: reached / float64(len(workload)),
-		degraded:    degraded,
-		avgCorA:     corA / float64(len(workload)),
-		calibration: cal.Snapshot(),
-		metrics:     snapshot.String(),
+		queries:          len(workload),
+		wall:             wall,
+		p50:              time.Duration(qs[0] * float64(time.Second)),
+		p90:              time.Duration(qs[1] * float64(time.Second)),
+		p99:              time.Duration(qs[2] * float64(time.Second)),
+		avgProbes:        probes / float64(len(workload)),
+		reachedFrac:      reached / float64(len(workload)),
+		degraded:         degraded,
+		avgCorA:          corA / float64(len(workload)),
+		calibration:      cal.Snapshot(),
+		slowest:          slowest,
+		slowestTrace:     slowestTrace,
+		costProbes:       costProbes,
+		costHedgesWasted: costHedgesWasted,
+		costCacheHits:    costCacheHits,
+		costBytes:        costBytes,
+		slo:              slo.Snapshot(),
+		metrics:          snapshot.String(),
+		reg:              reg,
+		spans:            spans,
+		sloT:             slo,
 	}, nil
 }
 
@@ -295,6 +377,18 @@ func printReport(w *os.File, cfg loadConfig, rep loadReport) {
 	fmt.Fprintf(w, "avg Cor_a        %.3f\n", rep.avgCorA)
 	fmt.Fprintf(w, "calibration      Brier %.3f, ECE %.3f, gap %+.3f over %d selections\n",
 		rep.calibration.Brier, rep.calibration.ECE, rep.calibration.Gap, rep.calibration.Samples)
+	if rep.costProbes > 0 || rep.costBytes > 0 {
+		fmt.Fprintf(w, "probe cost       %d probes, %d wasted hedges, %d cache hits, %d bytes fetched\n",
+			rep.costProbes, rep.costHedgesWasted, rep.costCacheHits, rep.costBytes)
+	}
+	if rep.slowestTrace != "" {
+		fmt.Fprintf(w, "slowest          %v, trace %s (inspect at /debug/spans?trace=%s with -serve)\n",
+			rep.slowest.Round(time.Microsecond), rep.slowestTrace, rep.slowestTrace)
+	}
+	for _, win := range rep.slo.Windows {
+		fmt.Fprintf(w, "slo %-12s latency burn %.2f, availability burn %.2f\n",
+			win.Window, win.LatencyBurnRate, win.AvailabilityBurnRate)
+	}
 	if rep.metrics != "" {
 		fmt.Fprintf(w, "\n--- metrics snapshot (Prometheus text format) ---\n%s", rep.metrics)
 	}

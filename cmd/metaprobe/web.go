@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"metaprobe"
+	"metaprobe/internal/core"
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 )
@@ -19,9 +21,12 @@ import (
 // web serves a browser front-end over a trained metasearcher: a search
 // form, the fused results with snippets, the selection diagnostics
 // (which databases were chosen, at what certainty, with how many
-// probes), plus the operational endpoints /metrics (Prometheus text
-// format), /debug/trace, /debug/calibration and /debug/model (JSON),
-// /debug/pprof, and the /healthz + /readyz probes.
+// probes) with a span waterfall of the request path, plus the
+// operational endpoints /metrics (Prometheus text format with trace
+// exemplars), /debug/trace, /debug/spans, /debug/slo,
+// /debug/calibration and /debug/model (JSON), /debug/pprof, and the
+// /healthz + /readyz probes (readiness covers training state and
+// refresher health).
 func web(args []string) {
 	fs := flag.NewFlagSet("web", flag.ExitOnError)
 	addr := fs.String("addr", ":8090", "listen address")
@@ -37,7 +42,7 @@ func web(args []string) {
 	}
 	logger.Info("serving the metasearch UI",
 		"addr", *addr,
-		"endpoints", "/metrics /debug/trace /debug/calibration /debug/model /debug/pprof /healthz /readyz")
+		"endpoints", "/metrics /debug/trace /debug/spans /debug/slo /debug/calibration /debug/model /debug/pprof /healthz /readyz")
 	fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
 }
 
@@ -49,6 +54,8 @@ func web(args []string) {
 type webEnv struct {
 	reg    *metaprobe.Metrics
 	tracer *metaprobe.RingTracer
+	spans  *metaprobe.SpanTracer
+	slo    *metaprobe.SLO
 	cal    *metaprobe.Calibration
 	caches []webCache
 }
@@ -83,10 +90,15 @@ func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Me
 	env := &webEnv{
 		reg:    metaprobe.NewMetrics(),
 		tracer: metaprobe.NewRingTracer(256),
+		spans:  metaprobe.NewSpanTracer(0),
+		slo:    metaprobe.NewSLO(metaprobe.SLOConfig{}),
 		cal:    metaprobe.NewCalibration(0),
 	}
 	env.tracer.Bind(env.reg)
+	env.spans.Bind(env.reg)
+	env.slo.Bind(env.reg)
 	env.cal.Bind(env.reg)
+	obs.RegisterBuildInfo(env.reg, "metaprobe", strconv.Itoa(core.FormatVersion))
 	dbs := make([]metaprobe.Database, tb.Len())
 	for i := range dbs {
 		cached := hidden.NewCached(tb.DB(i), 512)
@@ -118,6 +130,8 @@ func buildDemoMetasearcher(scale float64, seed int64, trainN int) (*metaprobe.Me
 	ms, err := metaprobe.New(dbs, sums, &metaprobe.Config{
 		Metrics: env.reg,
 		Tracer:  env.tracer,
+		Spans:   env.spans,
+		SLO:     env.slo,
 		Drift:   &metaprobe.DriftConfig{},
 		OnDrift: func(a metaprobe.DriftAlert) {
 			logger.Warn("error-distribution drift detected",
@@ -152,10 +166,12 @@ func newWebMux(ms *metaprobe.Metasearcher, env *webEnv) *http.ServeMux {
 	mux.Handle("/", NewWebUI(ms, env))
 	mux.Handle("/metrics", obs.MetricsHandler(env.reg))
 	mux.Handle("/debug/trace", obs.TraceHandler(env.tracer))
+	mux.Handle("/debug/spans", span.Handler(env.spans))
+	mux.Handle("/debug/slo", obs.SLOHandler(env.slo))
 	mux.Handle("/debug/calibration", obs.CalibrationHandler(env.cal))
 	mux.Handle("/debug/model", obs.JSONHandler(func() any { return ms.ModelInfo() }))
 	mux.Handle("/healthz", obs.HealthzHandler())
-	mux.Handle("/readyz", obs.ReadyzHandler(ms.Trained))
+	mux.Handle("/readyz", obs.ReadyzCheckHandler(ms.Ready))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -185,6 +201,19 @@ type cacheRow struct {
 	HitRate float64
 }
 
+// waterfallRow is one span bar of the selection-waterfall panel:
+// name and detail to label it, depth to indent it, and percentages to
+// position the bar on a 100%-wide track.
+type waterfallRow struct {
+	Name       string
+	Detail     string
+	Indent     float64
+	DurationMs float64
+	LeftPct    float64
+	WidthPct   float64
+	Err        bool
+}
+
 // webData feeds the page template.
 type webData struct {
 	Query       string
@@ -202,6 +231,9 @@ type webData struct {
 	Caches      []cacheRow
 	Calibration *metaprobe.CalibrationSnapshot
 	Model       metaprobe.ModelInfo
+	TraceID     string
+	Waterfall   []waterfallRow
+	Cost        *metaprobe.CostSummary
 }
 
 // ServeHTTP implements http.Handler.
@@ -222,13 +254,16 @@ func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		data.Query = q
 		data.Ran = true
 		start := time.Now()
-		items, sel, err := u.ms.Metasearch(q, data.K, metaprobe.Partial, data.T, 10)
+		items, sel, err := u.ms.MetasearchContext(r.Context(), q, data.K, metaprobe.Partial, data.T, 10)
 		if err != nil {
 			data.Error = err.Error()
 			logger.Error("metasearch failed", "query", q, "err", err)
 		} else {
 			data.Items = items
 			data.Selection = sel
+			data.TraceID = sel.TraceID
+			data.Waterfall = u.waterfall(sel.TraceID)
+			data.Cost = sel.Cost
 			logger.Info("metasearch",
 				"selection", sel.ID, "query", q, "k", data.K,
 				"certainty", sel.Certainty, "probes", sel.Probes, "results", len(items))
@@ -266,6 +301,51 @@ func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// waterfall renders the stored span tree of one trace as indented
+// bars scaled to the trace's total duration. Spans still open when the
+// page renders (a cancelled hedge loser, say) are simply absent — the
+// store only holds ended spans.
+func (u *WebUI) waterfall(traceID string) []waterfallRow {
+	if u.env == nil || u.env.spans == nil || traceID == "" {
+		return nil
+	}
+	roots := u.env.spans.Tree(traceID)
+	nodes := span.Flatten(roots)
+	if len(nodes) == 0 {
+		return nil
+	}
+	var total float64
+	for _, n := range roots {
+		if end := n.OffsetMs + n.DurationMs; end > total {
+			total = end
+		}
+	}
+	if total <= 0 {
+		total = 1
+	}
+	rows := make([]waterfallRow, 0, len(nodes))
+	for _, n := range nodes {
+		row := waterfallRow{
+			Name:       n.Name,
+			Indent:     0.9 * float64(n.Depth),
+			DurationMs: n.DurationMs,
+			LeftPct:    100 * n.OffsetMs / total,
+			WidthPct:   100 * n.DurationMs / total,
+			Err:        n.Span.Error != "",
+		}
+		if row.WidthPct < 0.4 {
+			row.WidthPct = 0.4 // keep instant spans visible
+		}
+		if d, ok := n.Span.Attrs["backend"]; ok {
+			row.Detail = d
+		} else if d, ok := n.Span.Attrs["db"]; ok {
+			row.Detail = d
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
 // cacheRows snapshots the per-database result-cache statistics.
 func (u *WebUI) cacheRows() []cacheRow {
 	if u.env == nil {
@@ -296,6 +376,10 @@ td, th { border: 1px solid #ccc; padding: .25rem .6rem; text-align: left; }
 .snippet { color: #333; }
 .err { color: #a00; }
 .meta { color: #666; font-size: .9em; }
+.track { width: 22rem; position: relative; }
+.bar { height: .65em; background: #68a; border-radius: 2px; }
+.errbar { background: #a33; }
+.wf td { border: none; border-bottom: 1px solid #eee; font-size: .85em; white-space: nowrap; }
 </style></head><body>
 <h1>metaprobe</h1>
 <p class="meta">probabilistic metasearch over {{len .Databases}} Hidden-Web databases
@@ -321,6 +405,17 @@ with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}
 <div class="snippet">{{.Snippet}}</div>
 </div>
 {{else}}<p>No results.</p>{{end}}
+{{if .Waterfall}}
+<h3>Selection waterfall</h3>
+<p class="meta">trace <a href="/debug/spans?trace={{.TraceID}}">{{.TraceID}}</a>
+{{- if .Cost}} · {{.Cost.ProbesIssued}} probes, {{.Cost.HedgesWasted}} wasted hedges,
+{{.Cost.CacheHits}} cache hits, {{.Cost.BytesFetched}} bytes fetched{{end}}</p>
+<table class="wf">{{range .Waterfall}}<tr>
+<td style="padding-left:{{printf "%.1f" .Indent}}rem">{{.Name}}{{if .Detail}} <span class="db">{{.Detail}}</span>{{end}}</td>
+<td>{{printf "%.1f" .DurationMs}} ms</td>
+<td class="track"><div class="bar{{if .Err}} errbar{{end}}" style="margin-left:{{printf "%.2f" .LeftPct}}%;width:{{printf "%.2f" .WidthPct}}%"></div></td>
+</tr>{{end}}</table>
+{{end}}
 {{if .Explain}}
 <h3>Why these databases?</h3>
 <table><tr><th>database</th><th>estimate r̂</th><th>E[relevancy]</th><th>P(top-k)</th><th>query type</th></tr>
@@ -347,6 +442,7 @@ with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}
 <td>{{printf "%.1f%%" .HitRate}}</td></tr>{{end}}
 </table>
 <p class="meta">full metrics at <a href="/metrics">/metrics</a>; recent selection traces at
-<a href="/debug/trace">/debug/trace</a>; profiles at <a href="/debug/pprof/">/debug/pprof</a></p>
+<a href="/debug/trace">/debug/trace</a>; span store at <a href="/debug/spans">/debug/spans</a>;
+SLO burn rates at <a href="/debug/slo">/debug/slo</a>; profiles at <a href="/debug/pprof/">/debug/pprof</a></p>
 {{end}}{{end}}{{end}}
 </body></html>`

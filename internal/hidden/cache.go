@@ -5,6 +5,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 )
 
 // Cached memoizes search results with an LRU eviction policy. Within a
@@ -93,11 +96,17 @@ func (c *Cached) Search(query string, topK int) (Result, error) {
 
 // SearchContext implements ContextDatabase. Hits answer from memory
 // regardless of the context's state; misses go to the backend under
-// ctx.
+// ctx. The outcome is annotated on the ambient trace span and, for
+// hits, charged to the selection's cost account (a hit costs no wire
+// round trip).
 func (c *Cached) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	sp := span.FromContext(ctx)
 	if res, ok := c.lookup(query, topK); ok {
+		sp.AddEvent("cache_hit", "db", c.db.Name())
+		obs.CostFromContext(ctx).AddCacheHit()
 		return res, nil
 	}
+	sp.AddEvent("cache_miss", "db", c.db.Name())
 	res, err := SearchContext(ctx, c.db, query, topK)
 	if err != nil {
 		return Result{}, err

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"time"
 
+	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 	"metaprobe/internal/textindex"
 )
 
@@ -262,7 +264,10 @@ func (c *Client) FetchContext(ctx context.Context, id string) (string, error) {
 }
 
 // get performs one bounded GET under ctx, returning the (limited) body
-// and status code. Transport-level failures wrap ErrUnavailable.
+// and status code. Transport-level failures wrap ErrUnavailable. The
+// response size is charged to the selection's cost account and noted
+// on the ambient trace span, so per-request byte spend is visible end
+// to end.
 func (c *Client) get(ctx context.Context, u string) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -277,6 +282,9 @@ func (c *Client) get(ctx context.Context, u string) ([]byte, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %s: reading response: %v", ErrUnavailable, c.name, err)
 	}
+	obs.CostFromContext(ctx).AddBytes(c.name, int64(len(body)))
+	span.FromContext(ctx).AddEvent("http_response",
+		"status", strconv.Itoa(resp.StatusCode), "bytes", strconv.Itoa(len(body)))
 	return body, resp.StatusCode, nil
 }
 

@@ -3,9 +3,11 @@ package hidden
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 )
 
 // Instrumented wraps a Database and records per-database operational
@@ -119,15 +121,23 @@ func (n *Instrumented) Search(query string, topK int) (Result, error) {
 
 // SearchContext implements ContextDatabase with the same accounting:
 // cancelled and timed-out probes count as search errors, so hedging
-// and breaker decisions stay visible per database.
+// and breaker decisions stay visible per database. When ctx carries a
+// trace span, the search runs under a db.search child span so cache
+// hits, retries and wire sizes recorded by the middleware below attach
+// to it.
 func (n *Instrumented) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	ctx, sp := span.Start(ctx, "db.search")
+	sp.SetAttr("db", n.db.Name())
 	start := time.Now()
 	res, err := SearchContext(ctx, n.db, query, topK)
 	n.searchLat.Observe(time.Since(start).Seconds())
 	n.searches.Inc()
 	if err != nil {
 		n.searchErrs.Inc()
+	} else {
+		sp.SetAttr("matches", strconv.Itoa(res.MatchCount))
 	}
+	sp.EndErr(err)
 	return res, err
 }
 

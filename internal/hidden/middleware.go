@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"metaprobe/internal/obs/span"
 )
 
 // This file provides the operational middleware a production
@@ -219,15 +222,21 @@ func (r *Retry) Search(query string, topK int) (Result, error) {
 }
 
 // SearchContext implements ContextDatabase: backoff sleeps abort on
-// cancellation and the context reaches the wrapped database.
+// cancellation and the context reaches the wrapped database. Each
+// retried attempt is recorded as an event on the ambient trace span
+// (when one is present), with the triggering error.
 func (r *Retry) SearchContext(ctx context.Context, query string, topK int) (Result, error) {
+	sp := span.FromContext(ctx)
 	delay := r.backoff
 	var lastErr error
+	retries := 0
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
 			if r.OnRetry != nil {
 				r.OnRetry(lastErr)
 			}
+			retries++
+			sp.AddEvent("retry", "attempt", strconv.Itoa(attempt+1), "error", lastErr.Error())
 			var sleep time.Duration
 			sleep, delay = r.nextDelay(delay)
 			if err := sleepContext(ctx, sleep); err != nil {
@@ -236,6 +245,9 @@ func (r *Retry) SearchContext(ctx context.Context, query string, topK int) (Resu
 		}
 		res, err := SearchContext(ctx, r.db, query, topK)
 		if err == nil {
+			if retries > 0 {
+				sp.SetAttr("retries", strconv.Itoa(retries))
+			}
 			return res, nil
 		}
 		if !errors.Is(err, ErrUnavailable) || ctx.Err() != nil {
@@ -243,6 +255,7 @@ func (r *Retry) SearchContext(ctx context.Context, query string, topK int) (Resu
 		}
 		lastErr = err
 	}
+	sp.SetAttr("retries", strconv.Itoa(retries))
 	return Result{}, fmt.Errorf("hidden: %s failed after %d attempts: %w", r.db.Name(), r.attempts, lastErr)
 }
 

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo exports the conventional mp_build_info gauge: a
+// constant 1 whose labels carry the build identity — which binary,
+// which module version (VCS stamp when built from a checkout), which
+// Go toolchain, and which model snapshot format it speaks. Every
+// binary that serves /metrics registers this so a scrape can tell
+// fleet versions apart without shelling into the box.
+func RegisterBuildInfo(reg *Registry, component, formatVersion string) {
+	if reg == nil {
+		return
+	}
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	reg.Help("mp_build_info", "Build identity of this binary; value is always 1.")
+	reg.Gauge("mp_build_info", Labels{
+		"component":      component,
+		"version":        version,
+		"go_version":     runtime.Version(),
+		"format_version": formatVersion,
+	}).Set(1)
+}

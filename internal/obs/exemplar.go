@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Exemplar links one recent observation of a histogram bucket back to
+// the trace that produced it, OpenMetrics-style. Each exemplar bucket
+// keeps only its most recent exemplar: the point is "show me *a* trace
+// that landed here", not a sample archive.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
+}
+
+// exemplarBounds is the coarse cumulative le ladder used for
+// exemplar-bearing _bucket lines. It is intentionally much coarser
+// than the histogram's internal geometric buckets: the fine buckets
+// answer quantile queries, while this ladder exists purely to hang
+// exemplars on a conventional Prometheus bucket layout. A final +Inf
+// bucket is implicit.
+var exemplarBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// exemplarSlot locates the exemplar bucket for v (len(exemplarBounds)
+// is the +Inf slot).
+func exemplarSlot(v float64) int {
+	for i, le := range exemplarBounds {
+		if v <= le {
+			return i
+		}
+	}
+	return len(exemplarBounds)
+}
+
+// exemplarStore holds one exemplar per coarse bucket, created lazily so
+// histograms that never see a trace ID pay nothing.
+type exemplarStore struct {
+	mu    sync.Mutex
+	slots []Exemplar // len(exemplarBounds)+1 once allocated
+	any   bool
+}
+
+func (e *exemplarStore) put(v float64, traceID string, now time.Time) {
+	e.mu.Lock()
+	if e.slots == nil {
+		e.slots = make([]Exemplar, len(exemplarBounds)+1)
+	}
+	e.slots[exemplarSlot(v)] = Exemplar{Value: v, TraceID: traceID, Time: now}
+	e.any = true
+	e.mu.Unlock()
+}
+
+func (e *exemplarStore) snapshot() []Exemplar {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.any {
+		return nil
+	}
+	out := make([]Exemplar, len(e.slots))
+	copy(out, e.slots)
+	return out
+}
+
+// ObserveExemplar records v like Observe and, when traceID is
+// non-empty, attaches it as the exemplar of the matching bucket so
+// the /metrics exposition can link this latency region to a concrete
+// trace. Negative and NaN values are clamped to zero, matching
+// Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || h == nopHistogram {
+		return
+	}
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	h.exemplars.put(v, traceID, time.Now())
+}
+
+// Exemplars returns the current exemplar per coarse bucket (the last
+// slot is the +Inf bucket); zero-valued entries are empty slots. It
+// returns nil when no exemplar was ever recorded.
+func (h *Histogram) Exemplars() []Exemplar {
+	return h.exemplars.snapshot()
+}
+
+// countAtOrBelow approximates the cumulative count of observations
+// ≤ le by summing the fine geometric buckets fully contained in
+// [0, le]. The ±9% fine-bucket granularity makes this slightly
+// conservative at coarse bucket edges, which is fine for exemplar
+// bucket lines (the quantile samples remain the precise view).
+func (h *Histogram) countAtOrBelow(le float64) int64 {
+	if math.IsInf(le, 1) {
+		return h.count.Load()
+	}
+	var cum int64
+	for i := range histBounds {
+		if histBounds[i] > le {
+			break
+		}
+		cum += h.buckets[i].Load()
+	}
+	return cum
+}
+
+// writeExemplarBuckets emits the OpenMetrics-style cumulative _bucket
+// ladder for a histogram that carries at least one exemplar:
+//
+//	name_bucket{le="0.05"} 37 # {trace_id="4bf9..."} 0.0123 1719400000.123
+//	name_bucket{le="+Inf"} 40
+//
+// Buckets whose slot holds no exemplar are emitted bare, keeping the
+// ladder cumulative and complete. Called only when Exemplars() is
+// non-nil, so histograms without trace links keep the pure summary
+// exposition (which several tests and dashboards pin).
+func writeExemplarBuckets(w io.Writer, name string, labels Labels, h *Histogram, exs []Exemplar) error {
+	for i := 0; i <= len(exemplarBounds); i++ {
+		le := math.Inf(1)
+		leStr := "+Inf"
+		if i < len(exemplarBounds) {
+			le = exemplarBounds[i]
+			leStr = trimFloat(le)
+		}
+		line := fmt.Sprintf("%s_bucket%s %d", name, formatLabelsLE(labels, leStr), h.countAtOrBelow(le))
+		if ex := exs[i]; ex.TraceID != "" {
+			line += fmt.Sprintf(" # {trace_id=\"%s\"} %v %.3f",
+				escapeLabel(ex.TraceID), ex.Value, float64(ex.Time.UnixMilli())/1000)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimFloat renders a bucket bound without trailing zeros (0.05, not
+// 0.050000).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// formatLabelsLE renders {k="v",...,le="bound"} for bucket lines.
+func formatLabelsLE(labels Labels, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	keys := sortedLabelKeys(labels)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
+	}
+	if len(keys) > 0 {
+		b.WriteByte(',')
+	}
+	fmt.Fprintf(&b, "le=\"%s\"", le)
+	b.WriteByte('}')
+	return b.String()
+}

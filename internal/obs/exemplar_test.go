@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sel_latency_seconds", Labels{"policy": "greedy"})
+	h.Observe(0.004) // plain observation: no exemplar attached
+	h.ObserveExemplar(0.030, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(42.0, "aaaabbbbccccddddeeeeffff00001111") // +Inf slot
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Summary exposition stays intact.
+	for _, want := range []string{
+		"# TYPE sel_latency_seconds summary",
+		`sel_latency_seconds{policy="greedy",quantile="0.5"}`,
+		`sel_latency_seconds_count{policy="greedy"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Bucket ladder with exemplars rides along.
+	if !strings.Contains(out, `sel_latency_seconds_bucket{policy="greedy",le="0.05"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.03 `) {
+		t.Errorf("missing exemplar bucket line in:\n%s", out)
+	}
+	if !strings.Contains(out, `sel_latency_seconds_bucket{policy="greedy",le="+Inf"} 3 # {trace_id="aaaabbbbccccddddeeeeffff00001111"} 42 `) {
+		t.Errorf("missing +Inf exemplar line in:\n%s", out)
+	}
+}
+
+func TestExemplarFreeHistogramKeepsSummaryOnly(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("plain_seconds", nil).Observe(0.01)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "_bucket") {
+		t.Errorf("histogram without exemplars emitted bucket lines:\n%s", sb.String())
+	}
+}
+
+func TestExemplarSlotReplacement(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveExemplar(0.02, "first0000000000000000000000000000")
+	h.ObserveExemplar(0.021, "second000000000000000000000000000")
+	exs := h.Exemplars()
+	if exs == nil {
+		t.Fatal("no exemplars recorded")
+	}
+	slot := exemplarSlot(0.02)
+	if exs[slot].TraceID != "second000000000000000000000000000" {
+		t.Errorf("slot holds %q, want the most recent exemplar", exs[slot].TraceID)
+	}
+	if exs[slot].Value != 0.021 || exs[slot].Time.IsZero() {
+		t.Errorf("exemplar = %+v", exs[slot])
+	}
+	// Empty trace IDs never record.
+	h2 := NewHistogram()
+	h2.ObserveExemplar(0.5, "")
+	if h2.Exemplars() != nil {
+		t.Error("empty trace ID recorded an exemplar")
+	}
+	if h2.Count() != 1 {
+		t.Error("ObserveExemplar must still count the observation")
+	}
+}
+
+func TestCountAtOrBelowMonotone(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0.0005, 0.003, 0.04, 0.2, 3, 100} {
+		h.Observe(v)
+	}
+	var prev int64 = -1
+	for _, le := range exemplarBounds {
+		c := h.countAtOrBelow(le)
+		if c < prev {
+			t.Errorf("cumulative count decreased at le=%v: %d < %d", le, c, prev)
+		}
+		prev = c
+	}
+	if got := h.countAtOrBelow(math.Inf(1)); got != 6 {
+		t.Errorf("countAtOrBelow(+Inf) = %d, want 6", got)
+	}
+}
+
+func TestNopHistogramExemplar(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("x", nil)
+	h.ObserveExemplar(0.1, "deadbeefdeadbeefdeadbeefdeadbeef")
+	if h.Exemplars() != nil {
+		t.Error("nop histogram stored an exemplar")
+	}
+}

@@ -22,6 +22,9 @@ type Histogram struct {
 	sum     atomicFloat
 	min     atomicFloat
 	max     atomicFloat
+	// exemplars backs ObserveExemplar; empty until a trace-linked
+	// observation arrives (see exemplar.go).
+	exemplars exemplarStore
 }
 
 // Bucket layout: bucket i covers (histBounds[i-1], histBounds[i]],

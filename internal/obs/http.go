@@ -56,6 +56,20 @@ func CalibrationHandler(c *Calibration) http.Handler {
 	})
 }
 
+// SLOHandler serves the SLO tracker's burn-rate snapshot as JSON —
+// mount it at /debug/slo. A nil tracker serves the zero snapshot, so
+// the endpoint can be mounted unconditionally.
+func SLOHandler(s *SLO) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
 // JSONHandler serves snapshot() as indented JSON on every request —
 // the generic /debug/* endpoint builder (the model-version endpoint
 // mounts it at /debug/model). snapshot runs per request, so the served
@@ -77,6 +91,24 @@ func HealthzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyzCheckHandler reports readiness with a reason: 200 "ready" when
+// check() returns nil, 503 with the error text otherwise. Use this
+// over ReadyzHandler when readiness can fail for more than one reason
+// (not yet trained, refresher wedged) and operators need to see which.
+// A nil check means always ready.
+func ReadyzCheckHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ready\n"))
 	})
 }
 

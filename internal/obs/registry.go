@@ -339,9 +339,27 @@ func writeSeries(w io.Writer, name string, s *series, fn func() float64, kind me
 		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", name, formatLabels(s.labels, "", 0), s.hist.Sum()); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.labels, "", 0), s.hist.Count())
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(s.labels, "", 0), s.hist.Count()); err != nil {
+			return err
+		}
+		// Histograms that carry trace-linked observations additionally
+		// emit a cumulative bucket ladder with OpenMetrics exemplars, so
+		// /metrics links latency regions to concrete trace IDs.
+		if exs := s.hist.Exemplars(); exs != nil {
+			return writeExemplarBuckets(w, name, s.labels, s.hist, exs)
+		}
+		return nil
 	}
+}
+
+// sortedLabelKeys returns the label names in exposition order.
+func sortedLabelKeys(labels Labels) []string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // formatLabels renders {k="v",...}; quantileKey, when non-empty, adds
@@ -350,11 +368,7 @@ func formatLabels(labels Labels, quantileKey string, quantile float64) string {
 	if len(labels) == 0 && quantileKey == "" {
 		return ""
 	}
-	keys := make([]string, 0, len(labels))
-	for k := range labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := sortedLabelKeys(labels)
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, k := range keys {

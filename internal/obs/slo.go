@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig defines the service-level objectives tracked by SLO.
+type SLOConfig struct {
+	// LatencyObjective is the per-request latency threshold; a request
+	// slower than this breaches the latency objective (default 250ms).
+	LatencyObjective time.Duration
+	// LatencyTarget is the fraction of requests that must meet the
+	// latency objective (default 0.99).
+	LatencyTarget float64
+	// AvailabilityTarget is the fraction of requests that must succeed
+	// (default 0.999).
+	AvailabilityTarget float64
+}
+
+// withDefaults fills zero fields.
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 250 * time.Millisecond
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = 0.999
+	}
+	return c
+}
+
+// sloWindows are the burn-rate windows: the standard short/long pair
+// for multi-window alerting (SRE workbook). The short window makes the
+// alert fast to fire and fast to clear; the long window keeps it from
+// flapping on a brief spike.
+var sloWindows = []struct {
+	name string
+	secs int64
+}{
+	{"5m", 300},
+	{"1h", 3600},
+}
+
+// fastBurnThreshold is the canonical paging threshold for the 5m/1h
+// window pair: burning 14.4× the budget rate exhausts a 30-day error
+// budget in about two days.
+const fastBurnThreshold = 14.4
+
+// sloBucket accumulates one second of request outcomes.
+type sloBucket struct {
+	sec   int64 // unix second this bucket currently represents
+	total int64
+	slow  int64 // latency objective breaches
+	fail  int64 // availability failures
+}
+
+// SLO tracks latency and availability objectives over sliding windows
+// and reports multi-window burn rates. Observations land in a ring of
+// per-second buckets spanning the longest window (1h), so the tracker
+// is O(1) per request and a few tens of KiB total. A nil *SLO no-ops,
+// matching the registry's nil-tolerance convention.
+type SLO struct {
+	cfg SLOConfig
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets [3600]sloBucket
+	// lifetime totals, for counters that must never move backwards
+	total, slow, fail int64
+}
+
+// NewSLO returns a tracker for the given objectives.
+func NewSLO(cfg SLOConfig) *SLO {
+	return &SLO{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Config returns the (defaulted) objectives.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}
+	}
+	return s.cfg
+}
+
+// Observe records one request outcome: its latency, and whether it
+// succeeded (ok=false is an availability failure; its latency still
+// counts against the latency objective).
+func (s *SLO) Observe(latency time.Duration, ok bool) {
+	if s == nil {
+		return
+	}
+	sec := s.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := &s.buckets[sec%int64(len(s.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	s.total++
+	if latency > s.cfg.LatencyObjective {
+		b.slow++
+		s.slow++
+	}
+	if !ok {
+		b.fail++
+		s.fail++
+	}
+}
+
+// SLOWindow is the burn-rate report for one sliding window.
+type SLOWindow struct {
+	Window               string  `json:"window"`
+	Total                int64   `json:"total"`
+	LatencyBreaches      int64   `json:"latency_breaches"`
+	AvailabilityFailures int64   `json:"availability_failures"`
+	LatencyBurnRate      float64 `json:"latency_burn_rate"`
+	AvailabilityBurnRate float64 `json:"availability_burn_rate"`
+}
+
+// SLOSnapshot is the full SLO state served at /debug/slo.
+type SLOSnapshot struct {
+	LatencyObjectiveMs float64     `json:"latency_objective_ms"`
+	LatencyTarget      float64     `json:"latency_target"`
+	AvailabilityTarget float64     `json:"availability_target"`
+	Total              int64       `json:"requests_total"`
+	LatencyBreaches    int64       `json:"latency_breaches_total"`
+	AvailabilityFails  int64       `json:"availability_failures_total"`
+	Windows            []SLOWindow `json:"windows"`
+	// Alerts fire on the multi-window rule: both the short and the
+	// long window must burn above the fast-burn threshold, so a brief
+	// spike (short only) or old stale errors (long only) do not page.
+	LatencyAlert      bool `json:"latency_alert"`
+	AvailabilityAlert bool `json:"availability_alert"`
+}
+
+// Snapshot computes burn rates over every configured window.
+//
+// Burn rate is the observed bad-event rate divided by the error budget
+// (1 − target): burn 1.0 consumes the budget exactly at the rate it
+// accrues; burn N exhausts it N× faster. A window with no traffic
+// burns 0.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	now := s.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SLOSnapshot{
+		LatencyObjectiveMs: float64(s.cfg.LatencyObjective) / float64(time.Millisecond),
+		LatencyTarget:      s.cfg.LatencyTarget,
+		AvailabilityTarget: s.cfg.AvailabilityTarget,
+		Total:              s.total,
+		LatencyBreaches:    s.slow,
+		AvailabilityFails:  s.fail,
+	}
+	for _, w := range sloWindows {
+		var win SLOWindow
+		win.Window = w.name
+		cutoff := now - w.secs
+		for i := range s.buckets {
+			b := &s.buckets[i]
+			if b.sec > cutoff && b.sec <= now {
+				win.Total += b.total
+				win.LatencyBreaches += b.slow
+				win.AvailabilityFailures += b.fail
+			}
+		}
+		if win.Total > 0 {
+			win.LatencyBurnRate = (float64(win.LatencyBreaches) / float64(win.Total)) / (1 - s.cfg.LatencyTarget)
+			win.AvailabilityBurnRate = (float64(win.AvailabilityFailures) / float64(win.Total)) / (1 - s.cfg.AvailabilityTarget)
+		}
+		snap.Windows = append(snap.Windows, win)
+	}
+	lat, avail := true, true
+	for _, w := range snap.Windows {
+		lat = lat && w.LatencyBurnRate >= fastBurnThreshold
+		avail = avail && w.AvailabilityBurnRate >= fastBurnThreshold
+	}
+	snap.LatencyAlert = lat
+	snap.AvailabilityAlert = avail
+	return snap
+}
+
+// Bind exports the tracker to reg as mp_slo_* series: per-window burn
+// rate gauges plus lifetime outcome counters.
+func (s *SLO) Bind(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.Help("mp_slo_latency_burn_rate", "Latency error-budget burn rate over the labeled window.")
+	reg.Help("mp_slo_availability_burn_rate", "Availability error-budget burn rate over the labeled window.")
+	reg.Help("mp_slo_requests_total", "Requests observed by the SLO tracker.")
+	reg.Help("mp_slo_latency_breaches_total", "Requests slower than the latency objective.")
+	reg.Help("mp_slo_availability_failures_total", "Requests that failed outright.")
+	reg.Help("mp_slo_latency_objective_seconds", "Configured per-request latency objective.")
+	for i, w := range sloWindows {
+		idx := i
+		lbl := Labels{"window": w.name}
+		reg.GaugeFunc("mp_slo_latency_burn_rate", lbl, func() float64 {
+			return s.Snapshot().Windows[idx].LatencyBurnRate
+		})
+		reg.GaugeFunc("mp_slo_availability_burn_rate", lbl, func() float64 {
+			return s.Snapshot().Windows[idx].AvailabilityBurnRate
+		})
+	}
+	reg.CounterFunc("mp_slo_requests_total", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.total)
+	})
+	reg.CounterFunc("mp_slo_latency_breaches_total", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.slow)
+	})
+	reg.CounterFunc("mp_slo_availability_failures_total", nil, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.fail)
+	})
+	reg.GaugeFunc("mp_slo_latency_objective_seconds", nil, func() float64 {
+		return s.cfg.LatencyObjective.Seconds()
+	})
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloAt builds a tracker with a controllable clock.
+func sloAt(cfg SLOConfig, t0 time.Time) (*SLO, *time.Time) {
+	now := t0
+	s := NewSLO(cfg)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestSLODefaults(t *testing.T) {
+	s := NewSLO(SLOConfig{})
+	cfg := s.Config()
+	if cfg.LatencyObjective != 250*time.Millisecond || cfg.LatencyTarget != 0.99 || cfg.AvailabilityTarget != 0.999 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	s, _ := sloAt(SLOConfig{LatencyObjective: 100 * time.Millisecond, LatencyTarget: 0.99, AvailabilityTarget: 0.999}, t0)
+	// 100 requests: 2 slow, 1 failed.
+	for i := 0; i < 97; i++ {
+		s.Observe(10*time.Millisecond, true)
+	}
+	s.Observe(200*time.Millisecond, true)
+	s.Observe(300*time.Millisecond, true)
+	s.Observe(50*time.Millisecond, false)
+
+	snap := s.Snapshot()
+	if snap.Total != 100 || snap.LatencyBreaches != 2 || snap.AvailabilityFails != 1 {
+		t.Fatalf("lifetime totals = %+v", snap)
+	}
+	if len(snap.Windows) != 2 || snap.Windows[0].Window != "5m" || snap.Windows[1].Window != "1h" {
+		t.Fatalf("windows = %+v", snap.Windows)
+	}
+	for _, w := range snap.Windows {
+		// error rate 0.02 over budget 0.01 → burn 2.0
+		if !approx(w.LatencyBurnRate, 2.0, 1e-9) {
+			t.Errorf("%s latency burn = %v, want 2.0", w.Window, w.LatencyBurnRate)
+		}
+		// error rate 0.01 over budget 0.001 → burn 10.0
+		if !approx(w.AvailabilityBurnRate, 10.0, 1e-9) {
+			t.Errorf("%s availability burn = %v, want 10.0", w.Window, w.AvailabilityBurnRate)
+		}
+	}
+	if snap.LatencyAlert || snap.AvailabilityAlert {
+		t.Error("alerts fired below the fast-burn threshold")
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	s, now := sloAt(SLOConfig{}, t0)
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Second, false) // slow and failed
+	}
+	if snap := s.Snapshot(); snap.Windows[0].LatencyBurnRate == 0 {
+		t.Fatal("burn rate zero right after bad requests")
+	}
+	// Six minutes later the 5m window is clean, the 1h window still burns.
+	*now = t0.Add(6 * time.Minute)
+	snap := s.Snapshot()
+	if snap.Windows[0].Total != 0 || snap.Windows[0].LatencyBurnRate != 0 {
+		t.Errorf("5m window not empty after expiry: %+v", snap.Windows[0])
+	}
+	if snap.Windows[1].Total != 10 || snap.Windows[1].LatencyBurnRate == 0 {
+		t.Errorf("1h window lost its history: %+v", snap.Windows[1])
+	}
+	// 61 minutes later both windows are clean; lifetime totals persist.
+	*now = t0.Add(61 * time.Minute)
+	snap = s.Snapshot()
+	if snap.Windows[1].Total != 0 || snap.Windows[1].AvailabilityBurnRate != 0 {
+		t.Errorf("1h window not empty after expiry: %+v", snap.Windows[1])
+	}
+	if snap.Total != 10 || snap.AvailabilityFails != 10 {
+		t.Errorf("lifetime totals lost: %+v", snap)
+	}
+}
+
+func TestSLOMultiWindowAlert(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	s, _ := sloAt(SLOConfig{AvailabilityTarget: 0.999}, t0)
+	// Every request fails: burn = 1/0.001 = 1000 in both windows.
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Millisecond, false)
+	}
+	snap := s.Snapshot()
+	if !snap.AvailabilityAlert {
+		t.Errorf("availability alert not firing at burn %v", snap.Windows[0].AvailabilityBurnRate)
+	}
+}
+
+func TestSLOBindExposition(t *testing.T) {
+	t0 := time.Unix(1_700_000_000, 0)
+	s, _ := sloAt(SLOConfig{}, t0)
+	s.Observe(time.Second, false)
+	reg := NewRegistry()
+	s.Bind(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`mp_slo_latency_burn_rate{window="5m"}`,
+		`mp_slo_latency_burn_rate{window="1h"}`,
+		`mp_slo_availability_burn_rate{window="5m"}`,
+		"mp_slo_requests_total 1",
+		"mp_slo_latency_breaches_total 1",
+		"mp_slo_availability_failures_total 1",
+		"mp_slo_latency_objective_seconds 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second, false)
+	if snap := s.Snapshot(); snap.Total != 0 {
+		t.Error("nil SLO reported state")
+	}
+	s.Bind(NewRegistry())
+	if s.Config() != (SLOConfig{}) {
+		t.Error("nil SLO config nonzero")
+	}
+}
+
+func approx(got, want, eps float64) bool {
+	d := got - want
+	return d < eps && d > -eps
+}

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"metaprobe/internal/core"
+	"metaprobe/internal/obs/span"
 )
 
 // ProbeFunc issues the live probe to database i under ctx.
@@ -70,6 +72,7 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		v   float64
 		err error
 	}
+	sp := span.FromContext(ctx) // selection root (nil when tracing is off)
 	specCtx, cancelSpec := context.WithCancel(ctx)
 	pending := make(map[int]chan probeResult)
 	dispatch := func(i int) {
@@ -84,6 +87,9 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 	}
 	finish := func() Result {
 		cancelSpec()
+		if len(pending) > 0 {
+			sp.AddEvent("speculation_cancelled", "count", strconv.Itoa(len(pending)))
+		}
 		for _, ch := range pending {
 			<-ch
 			e.specWaste.Inc()
@@ -166,6 +172,9 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		for _, i := range cands {
 			if _, ok := pending[i]; !ok {
 				dispatch(i)
+				if i != cands[0] {
+					sp.AddEvent("speculative_prefetch", "backend", name(i))
+				}
 			}
 		}
 		head := cands[0]
@@ -182,6 +191,7 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 			// which keeps the estimated RD of failed databases).
 			s.ApplyProbe(head, 0)
 			excluded = append(excluded, head)
+			sp.AddEvent("backend_excluded", "backend", name(head), "error", r.err.Error())
 		} else {
 			s.ApplyProbe(head, r.v)
 		}

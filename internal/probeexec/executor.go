@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 )
 
 // ErrBreakerOpen is returned (wrapped) when a backend's circuit
@@ -122,9 +123,16 @@ type attemptResult struct {
 // caller cancellation is recorded as neutral, not as a backend
 // failure.
 func (e *Executor) Probe(ctx context.Context, name string, fn func(ctx context.Context) (float64, error)) (float64, error) {
+	acct := obs.CostFromContext(ctx)
+	ctx, ps := span.Start(ctx, "probe")
+	ps.SetAttr("backend", name)
 	br := e.breakerFor(name)
+	stateBefore := br.State()
 	if !br.Allow() {
-		return 0, fmt.Errorf("probeexec: %s: %w", name, ErrBreakerOpen)
+		err := fmt.Errorf("probeexec: %s: %w", name, ErrBreakerOpen)
+		ps.AddEvent("breaker_rejected", "state", br.State().String())
+		ps.EndErr(err)
+		return 0, err
 	}
 	parent := ctx
 	if e.cfg.ProbeTimeout > 0 {
@@ -135,17 +143,37 @@ func (e *Executor) Probe(ctx context.Context, name string, fn func(ctx context.C
 	attemptCtx, cancelAttempts := context.WithCancel(ctx)
 	defer cancelAttempts()
 
+	// record feeds the breaker and closes the probe span, emitting a
+	// breaker_transition event when this probe's outcome moved the
+	// state machine.
+	record := func(o probeOutcome, err error) {
+		br.Record(o)
+		if after := br.State(); after != stateBefore {
+			ps.AddEvent("breaker_transition", "from", stateBefore.String(), "to", after.String())
+		}
+		ps.EndErr(err)
+	}
+
 	// Buffered to both attempts: a loser can always deliver and exit.
 	results := make(chan attemptResult, 2)
 	launch := func(hedge bool) {
 		go func() {
-			release, err := e.pool.acquire(attemptCtx, name)
+			start := time.Now()
+			actx, as := span.Start(attemptCtx, "probe.attempt")
+			if hedge {
+				as.SetAttr("hedge", "true")
+			}
+			release, err := e.pool.acquire(actx, name)
 			if err != nil {
+				acct.AddProbe(name, time.Since(start), true)
+				as.EndErr(err)
 				results <- attemptResult{err: err, hedge: hedge}
 				return
 			}
 			defer release()
-			v, err := fn(attemptCtx)
+			v, err := fn(actx)
+			acct.AddProbe(name, time.Since(start), err != nil)
+			as.EndErr(err)
 			results <- attemptResult{v: v, err: err, hedge: hedge}
 		}()
 	}
@@ -167,8 +195,10 @@ func (e *Executor) Probe(ctx context.Context, name string, fn func(ctx context.C
 			if r.err == nil {
 				if r.hedge {
 					e.hedgeWins.Inc()
+					acct.AddHedgeWin()
+					ps.SetAttr("hedge_won", "true")
 				}
-				br.Record(probeSuccess)
+				record(probeSuccess, nil)
 				return r.v, nil
 			}
 			if firstErr == nil {
@@ -178,12 +208,14 @@ func (e *Executor) Probe(ctx context.Context, name string, fn func(ctx context.C
 				// The other attempt may still succeed.
 				continue
 			}
-			br.Record(classify(parent, firstErr))
+			record(classify(parent, firstErr), firstErr)
 			return 0, firstErr
 		case <-hedgeC:
 			hedgeC = nil
 			outstanding++
 			e.hedges.Inc()
+			acct.AddHedge()
+			ps.AddEvent("hedge_launched")
 			launch(true)
 		}
 	}

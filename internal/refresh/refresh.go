@@ -26,6 +26,7 @@ import (
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 )
 
 // Config tunes a Refresher. The zero value selects the defaults
@@ -68,6 +69,11 @@ type Config struct {
 	Queries func(numTerms, n int) []string
 	// Metrics receives mp_refresh_* series; nil disables them.
 	Metrics *obs.Registry
+	// Spans, when non-nil, records a span tree per refresh task
+	// (refresh → probe/validate/commit stages, with the host's probe
+	// spans nested below), so a model swap landing mid-selection can be
+	// correlated with the selections it raced.
+	Spans *span.Tracer
 	// Logger receives refresh lifecycle logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -179,6 +185,19 @@ type Stats struct {
 	Superseded int64 `json:"superseded"`
 	// ProbesSpent is the total live probes issued by refresh tasks.
 	ProbesSpent int64 `json:"probesSpent"`
+	// FailureStreak counts consecutive tasks that did not publish
+	// (rollback, aborted or superseded); RollbackStreak counts
+	// consecutive validation rollbacks specifically. Both reset on a
+	// successful refresh. A persistent streak means the refresher is
+	// wedged — serving a model it can no longer maintain — which
+	// readiness checks surface (see Metasearcher.Ready).
+	FailureStreak  int64 `json:"failureStreak"`
+	RollbackStreak int64 `json:"rollbackStreak"`
+	// LastError is the most recent non-publishing task's diagnostic,
+	// cleared by the next successful refresh; LastErrorAt timestamps
+	// it.
+	LastError   string    `json:"lastError,omitempty"`
+	LastErrorAt time.Time `json:"lastErrorAt"`
 	// LastValidation is the most recent task's audit, nil before the
 	// first task completes.
 	LastValidation *Validation `json:"lastValidation,omitempty"`
@@ -347,12 +366,27 @@ func (r *Refresher) runTask(a Alert) {
 	switch out {
 	case outcomeOK:
 		r.stats.Refreshes++
+		r.stats.FailureStreak = 0
+		r.stats.RollbackStreak = 0
+		r.stats.LastError = ""
+		r.stats.LastErrorAt = time.Time{}
 	case outcomeRollback:
 		r.stats.Rollbacks++
+		r.stats.RollbackStreak++
 	case outcomeAborted:
 		r.stats.Aborted++
 	case outcomeSuperseded:
 		r.stats.Superseded++
+	}
+	if out != outcomeOK {
+		r.stats.FailureStreak++
+		if out != outcomeRollback {
+			r.stats.RollbackStreak = 0
+		}
+		if err != nil {
+			r.stats.LastError = err.Error()
+			r.stats.LastErrorAt = time.Now()
+		}
 	}
 	if val != nil {
 		v := *val
@@ -394,9 +428,16 @@ type probePair struct {
 // refreshKey is the task body. It returns the outcome, the validation
 // record when probing happened, and a diagnostic error for non-ok
 // outcomes.
-func (r *Refresher) refreshKey(a Alert) (outcome, *Validation, error) {
+func (r *Refresher) refreshKey(a Alert) (out outcome, val *Validation, err error) {
 	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.TaskTimeout)
 	defer cancel()
+	ctx, sp := r.cfg.Spans.Start(ctx, "refresh")
+	sp.SetAttr("db", a.DB)
+	sp.SetAttr("query_type", a.Key.String())
+	defer func() {
+		sp.SetAttr("outcome", string(out))
+		sp.EndErr(err)
+	}()
 
 	baseVersion, clone := r.host.CloneServing()
 	if clone == nil {
@@ -438,8 +479,12 @@ func (r *Refresher) refreshKey(a Alert) (outcome, *Validation, error) {
 
 	// Probe the candidates through the host's lane, bounded by
 	// Concurrency — the budget caps total cost, the pool caps impact.
-	pairs, probesSpent := r.probeAll(ctx, a.DBIdx, cands)
-	val := &Validation{
+	pctx, psp := span.Start(ctx, "refresh.probe")
+	pairs, probesSpent := r.probeAll(pctx, a.DBIdx, cands)
+	psp.SetAttr("probes", fmt.Sprint(probesSpent))
+	psp.SetAttr("succeeded", fmt.Sprint(len(pairs)))
+	psp.End()
+	val = &Validation{
 		DB: a.DB, QueryType: a.Key.String(),
 		ProbesSpent: probesSpent, At: time.Now(),
 	}
@@ -466,24 +511,34 @@ func (r *Refresher) refreshKey(a Alert) (outcome, *Validation, error) {
 	// Score the serving distribution first (the clone is still
 	// unmodified), then rebuild only the alerted key's ED and score the
 	// candidate on the same holdout.
+	_, vsp := span.Start(ctx, "refresh.validate")
 	val.OldScore = holdoutScore(clone, a.DBIdx, a.Key, holdout)
 	if err := rebuildED(clone, a.DBIdx, a.Key, train); err != nil {
+		vsp.EndErr(err)
 		return outcomeAborted, val, err
 	}
 	val.NewScore = holdoutScore(clone, a.DBIdx, a.Key, holdout)
+	vsp.SetAttr("old_score", fmt.Sprintf("%.4f", val.OldScore))
+	vsp.SetAttr("new_score", fmt.Sprintf("%.4f", val.NewScore))
 
 	if val.NewScore > val.OldScore+r.cfg.MaxRegression {
-		return outcomeRollback, val, fmt.Errorf("refresh: candidate regressed on holdout: %.4f -> %.4f (gap %.4f allowed)",
+		err := fmt.Errorf("refresh: candidate regressed on holdout: %.4f -> %.4f (gap %.4f allowed)",
 			val.OldScore, val.NewScore, r.cfg.MaxRegression)
+		vsp.EndErr(err)
+		return outcomeRollback, val, err
 	}
+	vsp.End()
 	val.Accepted = true
+	_, csp := span.Start(ctx, "refresh.commit")
 	if _, err := r.host.Commit(baseVersion, clone, a.DB, a.Key, *val); err != nil {
 		val.Accepted = false
+		csp.EndErr(err)
 		if err == ErrSuperseded {
 			return outcomeSuperseded, val, err
 		}
 		return outcomeAborted, val, err
 	}
+	csp.End()
 	return outcomeOK, val, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"metaprobe/internal/estimate"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 	"metaprobe/internal/summary"
@@ -432,5 +433,92 @@ func TestParseTypeKeyRoundTrip(t *testing.T) {
 		return err.Error()
 	}(), "bogus") {
 		t.Error("parse error should quote the input")
+	}
+}
+
+// TestRefreshStreakTracking drives the readiness plumbing: every task
+// that fails to publish grows FailureStreak and pins the triggering
+// error in LastError; the first published refresh clears both. The
+// same run checks the span tracer records a tree per task, with the
+// published task carrying probe/validate/commit stage children.
+func TestRefreshStreakTracking(t *testing.T) {
+	h := buildHarness(t)
+	host := newFakeHost(h)
+	host.probeValue = func(_ int, rhat, _ float64) (float64, error) { return 3 * rhat, nil }
+	alert := h.alertFor(t, 24)
+
+	// The query source is switchable: while off, every task aborts
+	// before probing; once on, the drifted key retrains and publishes.
+	var mu sync.Mutex
+	allow := false
+	src := func(numTerms, n int) []string {
+		mu.Lock()
+		ok := allow
+		mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return h.querySource(numTerms, n)
+	}
+	tr := span.NewTracer(0)
+	r := New(Config{
+		ProbeBudget: 48, MinProbes: 12, HoldoutEvery: 4,
+		Cooldown: time.Millisecond, Queries: src, Spans: tr,
+	}, host)
+	defer r.Stop()
+
+	r.Alert(alert)
+	s := waitTasks(t, r, 1)
+	if s.Aborted != 1 || s.FailureStreak != 1 || s.LastError == "" {
+		t.Fatalf("after one abort: %+v", s)
+	}
+	time.Sleep(5 * time.Millisecond) // let the per-key cooldown lapse
+	r.Alert(alert)
+	if s = waitTasks(t, r, 2); s.FailureStreak != 2 {
+		t.Fatalf("streak should accumulate across aborts: %+v", s)
+	}
+
+	mu.Lock()
+	allow = true
+	mu.Unlock()
+	time.Sleep(5 * time.Millisecond)
+	r.Alert(alert)
+	s = waitTasks(t, r, 3)
+	if s.Refreshes != 1 {
+		t.Fatalf("expected the third task to publish: %+v", s)
+	}
+	if s.FailureStreak != 0 || s.RollbackStreak != 0 || s.LastError != "" {
+		t.Fatalf("success must clear streaks and the sticky error: %+v", s)
+	}
+
+	traces := tr.Traces(0)
+	if len(traces) != 3 {
+		t.Fatalf("recorded %d traces, want one per task", len(traces))
+	}
+	published := false
+	for _, ts := range traces {
+		names := map[string]bool{}
+		var root *span.Span
+		for _, sp := range tr.TraceSpans(ts.TraceID) {
+			names[sp.Name] = true
+			if sp.Name == "refresh" {
+				root = sp
+			}
+		}
+		if root == nil {
+			t.Fatalf("trace %s has no refresh root", ts.TraceID)
+		}
+		if root.Attrs["outcome"] != "ok" {
+			continue
+		}
+		published = true
+		for _, want := range []string{"refresh.probe", "refresh.validate", "refresh.commit"} {
+			if !names[want] {
+				t.Errorf("published refresh trace missing %s span", want)
+			}
+		}
+	}
+	if !published {
+		t.Error("no trace with outcome ok recorded")
 	}
 }

@@ -48,6 +48,7 @@ import (
 	"metaprobe/internal/fusion"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/span"
 	"metaprobe/internal/probeexec"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/refresh"
@@ -89,6 +90,25 @@ type (
 	ProbeTrace = obs.ProbeTrace
 	// RingTracer is a Tracer retaining the last N traces in memory.
 	RingTracer = obs.RingTracer
+	// SpanTracer records hierarchical request spans with a bounded
+	// in-memory store and OTLP-compatible JSON export. See Config.Spans
+	// and NewSpanTracer; span.Handler serves /debug/spans.
+	SpanTracer = span.Tracer
+	// Span is one recorded span (exported for waterfall rendering).
+	Span = span.Span
+	// SLO tracks latency and availability objectives with multi-window
+	// (5m/1h) burn rates. See Config.SLO and NewSLO.
+	SLO = obs.SLO
+	// SLOConfig sets an SLO tracker's objectives.
+	SLOConfig = obs.SLOConfig
+	// SLOSnapshot is a point-in-time burn-rate view (the /debug/slo
+	// endpoint renders it as JSON).
+	SLOSnapshot = obs.SLOSnapshot
+	// CostSummary is one selection's probe-cost account. See
+	// SelectionResult.Cost.
+	CostSummary = obs.CostSummary
+	// BackendCost is the per-backend slice of a CostSummary.
+	BackendCost = obs.BackendCost
 	// Calibration is a concurrency-safe reliability accumulator binning
 	// predicted certainty against realized correctness. See
 	// Config.Calibration and NewCalibration.
@@ -127,6 +147,16 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // NewRingTracer returns a Tracer keeping the last capacity traces
 // (capacity ≤ 0 defaults to 64) for Config.Tracer.
 func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// NewSpanTracer returns a span tracer with a bounded in-memory store
+// of capacity spans (≤ 0 defaults to 8192; the oldest spans are
+// evicted and counted once full) for Config.Spans.
+func NewSpanTracer(capacity int) *SpanTracer { return span.NewTracer(capacity) }
+
+// NewSLO returns a latency/availability SLO tracker for Config.SLO.
+// The zero config selects a 250ms @ 99% latency objective and 99.9%
+// availability; call Bind to export mp_slo_* series into a registry.
+func NewSLO(cfg SLOConfig) *SLO { return obs.NewSLO(cfg) }
 
 // NewCalibration returns a reliability accumulator with numBins
 // equal-width certainty bins over [0, 1] (≤ 0 defaults to 10). Feed it
@@ -243,6 +273,21 @@ type Config struct {
 	// gracefully instead of waiting on a dead backend). The zero value
 	// opens after 5 consecutive failures with a 30s cooldown.
 	Breaker BreakerConfig
+	// Spans, when non-nil, records a hierarchical span tree for every
+	// context-aware selection: a root "selection" span with each probe,
+	// its attempts (hedges included), breaker transitions, middleware
+	// cache/retry events and wire sizes nested below it, retrievable by
+	// trace ID (span.Handler serves /debug/spans?trace=<id>). The trace
+	// ID is reported on SelectionResult.TraceID and, when Metrics is
+	// also set, attached as an exemplar to the selection-latency
+	// histogram so a slow bucket links to a concrete trace. Nil — the
+	// default — keeps the selection path span-free.
+	Spans *SpanTracer
+	// SLO, when non-nil, feeds every selection's latency and outcome
+	// into multi-window burn-rate tracking. Call SLO.Bind(Metrics) to
+	// export mp_slo_* series; obs.SLOHandler serves /debug/slo. Nil
+	// disables SLO accounting.
+	SLO *SLO
 }
 
 // DocFrequencyRelevancy returns the paper's default relevancy: number
@@ -363,6 +408,9 @@ func New(dbs []Database, sums []*Summary, cfg *Config) (*Metasearcher, error) {
 		rc := *c.Refresh
 		if rc.Metrics == nil {
 			rc.Metrics = c.Metrics
+		}
+		if rc.Spans == nil {
+			rc.Spans = c.Spans
 		}
 		m.refresher = refresh.New(rc, refreshHost{m})
 	}
@@ -531,7 +579,8 @@ func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, flo
 		return nil, 0, err
 	}
 	set, e := sel.Best()
-	m.observe(m.nextSelectionID(), query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
+	m.recordSLO(start, true)
+	m.observe(m.nextSelectionID(), "", query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
 	return m.names(set), e, nil
 }
 
@@ -559,6 +608,16 @@ type SelectionResult struct {
 	// ExcludedDBs names the excluded backends (testbed order) when
 	// Degraded is set.
 	ExcludedDBs []string
+	// TraceID identifies the selection's span tree, set on the context-
+	// aware paths when Config.Spans is configured (retrieve it via
+	// SpanTracer.Tree or /debug/spans?trace=<id>). Empty otherwise.
+	TraceID string
+	// Cost is the selection's probe-cost account — probes issued,
+	// hedges won and wasted, cache hits, bytes fetched and per-backend
+	// wall time — populated on the context-aware paths when any
+	// observability sink (Metrics, Spans or SLO) is configured; nil
+	// otherwise.
+	Cost *CostSummary
 }
 
 // SelectWithCertainty runs the paper's APro algorithm: select k
@@ -594,10 +653,12 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	}
 	out, err := core.APro(sel, probe, policy, t, maxProbes)
 	if err != nil && len(out.Set) == 0 {
+		m.recordSLO(start, false)
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
+	m.recordSLO(start, true)
 	id := m.nextSelectionID()
-	m.observe(id, query, metric, t, sel, out, start)
+	m.observe(id, "", query, metric, t, sel, out, start)
 	return &SelectionResult{
 		ID:        id,
 		Databases: m.names(out.Set),
@@ -667,6 +728,20 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	if err != nil {
 		return nil, err
 	}
+	// Root span and cost account. The span tree nests every probe,
+	// attempt and middleware event below "selection"; the cost account
+	// rides the context so attempts charge it from whatever goroutine
+	// they land on. Both are nil-safe no-ops when unconfigured.
+	ctx, sp := m.cfg.Spans.Start(ctx, "selection")
+	sp.SetAttr("query", query)
+	sp.SetAttr("k", strconv.Itoa(k))
+	sp.SetAttr("metric", metric.String())
+	sp.SetAttr("threshold", strconv.FormatFloat(t, 'g', -1, 64))
+	var acct *obs.CostAccount
+	if m.cfg.Metrics != nil || m.cfg.Spans != nil || m.cfg.SLO != nil {
+		acct = obs.NewCostAccount()
+		ctx = obs.WithCost(ctx, acct)
+	}
 	numTerms := len(strings.Fields(query))
 	probe := func(ctx context.Context, i int) (float64, error) {
 		// The bound-context view routes the relevancy prober's searches
@@ -681,19 +756,66 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	}
 	res, err := m.exec.APro(ctx, sel, func(i int) string { return m.tb.DB(i).Name() }, probe, policy, t, maxProbes)
 	if err != nil {
+		m.recordSLO(start, false)
+		sp.EndErr(err)
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
 	id := m.nextSelectionID()
-	m.observe(id, query, metric, t, sel, res.Outcome, start)
-	return &SelectionResult{
+	if id != "" {
+		sp.SetAttr("id", id)
+	}
+	sp.SetAttr("certainty", strconv.FormatFloat(res.Certainty, 'f', 4, 64))
+	sp.SetAttr("probes", strconv.Itoa(res.Probes()))
+	sp.SetAttr("reached", strconv.FormatBool(res.Reached))
+	if res.Degraded {
+		sp.SetAttr("degraded", "true")
+	}
+	sp.End()
+	m.recordSLO(start, true)
+	m.observe(id, sp.Trace(), query, metric, t, sel, res.Outcome, start)
+	out := &SelectionResult{
 		ID:          id,
+		TraceID:     sp.Trace(),
 		Databases:   m.names(res.Set),
 		Certainty:   res.Certainty,
 		Probes:      res.Probes(),
 		Reached:     res.Reached,
 		Degraded:    res.Degraded,
 		ExcludedDBs: m.names(res.Excluded),
-	}, nil
+	}
+	if acct != nil {
+		sum := acct.Summary()
+		out.Cost = &sum
+		m.recordCost(numTerms, &sum)
+	}
+	return out, nil
+}
+
+// recordSLO feeds one finished selection into the SLO tracker. Client
+// errors (untrained model, k out of range) are not recorded: the
+// tracker measures serving quality, not caller mistakes.
+func (m *Metasearcher) recordSLO(start time.Time, ok bool) {
+	if m.cfg.SLO == nil || start.IsZero() {
+		return
+	}
+	m.cfg.SLO.Observe(time.Since(start), ok)
+}
+
+// recordCost aggregates one selection's probe-cost account into
+// per-query-type series (labelled by term count), so operators can see
+// what an average "3-term" selection costs in probes, bytes and
+// backend wall time.
+func (m *Metasearcher) recordCost(numTerms int, sum *CostSummary) {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	lbl := obs.Labels{"terms": strconv.Itoa(numTerms)}
+	reg.Counter("mp_selection_cost_probes_total", lbl).Add(int64(sum.ProbesIssued))
+	reg.Counter("mp_selection_cost_bytes_total", lbl).Add(sum.BytesFetched)
+	reg.Counter("mp_selection_cost_hedges_wasted_total", lbl).Add(int64(sum.HedgesWasted))
+	reg.Counter("mp_selection_cost_cache_hits_total", lbl).Add(int64(sum.CacheHits))
+	reg.Histogram("mp_selection_cost_wall_seconds", lbl).Observe(sum.WallMs / 1000)
 }
 
 // observeDrift feeds one successful live probe into the drift
@@ -736,6 +858,11 @@ func registerSelectionMetrics(reg *Metrics, tb *hidden.Testbed) {
 	reg.Help("metaprobe_selection_certainty", "Expected correctness of the returned database set.")
 	reg.Help("metaprobe_probes_total", "Successful live probes, per database.")
 	reg.Help("metaprobe_probe_errors_total", "Failed live probes, per database.")
+	reg.Help("mp_selection_cost_probes_total", "Live probes issued by selections, by query term count.")
+	reg.Help("mp_selection_cost_bytes_total", "Answer-page bytes fetched by selections, by query term count.")
+	reg.Help("mp_selection_cost_hedges_wasted_total", "Hedged attempts that lost their race, by query term count.")
+	reg.Help("mp_selection_cost_cache_hits_total", "Probe searches answered from the result cache, by query term count.")
+	reg.Help("mp_selection_cost_wall_seconds", "Cumulative backend wall time per selection, by query term count.")
 	reg.Histogram("metaprobe_select_latency_seconds", nil)
 	reg.Histogram("metaprobe_selection_certainty", nil)
 	for _, reached := range []string{"true", "false"} {
@@ -751,21 +878,24 @@ func registerSelectionMetrics(reg *Metrics, tb *hidden.Testbed) {
 // obsNow reads the clock only when some observability sink is
 // configured, keeping the disabled path free of syscalls.
 func (m *Metasearcher) obsNow() time.Time {
-	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
+	if m.cfg.Metrics == nil && m.cfg.Tracer == nil && m.cfg.SLO == nil {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
 // observe records metrics and emits a trace for one finished
-// selection. With both sinks nil it returns immediately.
-func (m *Metasearcher) observe(id, query string, metric Metric, threshold float64, sel *core.Selection, out core.Outcome, start time.Time) {
+// selection. With both sinks nil it returns immediately. A non-empty
+// traceID is attached to the latency observation as an exemplar, so a
+// latency bucket in /metrics links back to the span tree that filled
+// it.
+func (m *Metasearcher) observe(id, traceID, query string, metric Metric, threshold float64, sel *core.Selection, out core.Outcome, start time.Time) {
 	if m.cfg.Metrics == nil && m.cfg.Tracer == nil {
 		return
 	}
 	elapsed := time.Since(start)
 	if reg := m.cfg.Metrics; reg != nil {
-		reg.Histogram("metaprobe_select_latency_seconds", nil).Observe(elapsed.Seconds())
+		reg.Histogram("metaprobe_select_latency_seconds", nil).ObserveExemplar(elapsed.Seconds(), traceID)
 		reg.Counter("metaprobe_selections_total", obs.Labels{"reached": strconv.FormatBool(out.Reached)}).Inc()
 		reg.Histogram("metaprobe_selection_certainty", nil).Observe(out.Certainty)
 		for _, step := range out.Steps {
@@ -826,6 +956,39 @@ func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64,
 	if err != nil {
 		return nil, nil, err
 	}
+	items, err := m.fuse(context.Background(), query, selRes, resultSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return items, selRes, nil
+}
+
+// MetasearchContext is Metasearch bounded by ctx and executed through
+// the probe-execution engine (see SelectWithCertaintyContext for the
+// selection semantics). When Config.Spans is set the whole pipeline
+// records one trace: a root "metasearch" span with the selection and
+// each per-database result fetch as children, so a slow answer can be
+// broken down into selection versus fetch time on the waterfall.
+func (m *Metasearcher) MetasearchContext(ctx context.Context, query string, k int, metric Metric, t float64, resultSize int) ([]MergedResult, *SelectionResult, error) {
+	ctx, sp := m.cfg.Spans.Start(ctx, "metasearch")
+	sp.SetAttr("query", query)
+	selRes, err := m.SelectWithCertaintyContext(ctx, query, k, metric, t, -1)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, nil, err
+	}
+	items, err := m.fuse(ctx, query, selRes, resultSize)
+	sp.EndErr(err)
+	if err != nil {
+		return nil, nil, err
+	}
+	return items, selRes, nil
+}
+
+// fuse forwards the query to the selected databases under ctx and
+// merges their answer pages into one ranked list, enriched with
+// query-centered snippets where document text is fetchable.
+func (m *Metasearcher) fuse(ctx context.Context, query string, selRes *SelectionResult, resultSize int) ([]MergedResult, error) {
 	perDB := resultSize
 	if perDB < 10 {
 		perDB = 10
@@ -833,7 +996,7 @@ func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64,
 	var lists []fusion.SourceList
 	for _, name := range selRes.Databases {
 		db := m.tb.DB(m.tb.IndexOf(name))
-		res, err := db.Search(query, perDB)
+		res, err := hidden.SearchContext(ctx, db, query, perDB)
 		if err != nil {
 			// A database that fails at fetch time contributes nothing;
 			// selection already paid its certainty cost.
@@ -847,10 +1010,8 @@ func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64,
 	}
 	items, err := fusion.WeightedMerge(lists, resultSize)
 	if err != nil {
-		return nil, nil, fmt.Errorf("metaprobe: %w", err)
+		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
-	// Enrich results with query-centered snippets where document text
-	// is fetchable.
 	tok := textindex.DefaultTokenizer()
 	for i := range items {
 		db := m.tb.DB(m.tb.IndexOf(items[i].Database))
@@ -864,7 +1025,7 @@ func (m *Metasearcher) Metasearch(query string, k int, metric Metric, t float64,
 		}
 		items[i].Snippet = tok.Snippet(text, query, 16, true)
 	}
-	return items, selRes, nil
+	return items, nil
 }
 
 // selection builds the per-query state, requiring a trained model.
@@ -1087,6 +1248,34 @@ func (m *Metasearcher) ModelInfo() ModelInfo {
 		info.Refresh = &s
 	}
 	return info
+}
+
+// readyFailureStreak is the number of consecutive refresh tasks that
+// failed to publish after which Ready reports the refresher wedged.
+const readyFailureStreak = 3
+
+// Ready reports whether the metasearcher can serve selections at
+// quality, nil when it can. An untrained model is not ready; so is a
+// configured background refresher whose last readyFailureStreak tasks
+// all failed to publish — the serving model is then drifting with no
+// working repair path, which should flip readiness before operators
+// notice stale answers. Wire it to a readiness endpoint via
+// obs.ReadyzCheckHandler.
+func (m *Metasearcher) Ready() error {
+	if !m.Trained() {
+		return fmt.Errorf("model not trained")
+	}
+	if m.refresher != nil {
+		s := m.refresher.Stats()
+		if s.FailureStreak >= readyFailureStreak {
+			if s.LastError != "" {
+				return fmt.Errorf("refresher wedged: %d consecutive refresh tasks failed to publish (last: %s)",
+					s.FailureStreak, s.LastError)
+			}
+			return fmt.Errorf("refresher wedged: %d consecutive refresh tasks failed to publish", s.FailureStreak)
+		}
+	}
+	return nil
 }
 
 // refreshHost adapts the Metasearcher for the background refresher:

@@ -1,0 +1,85 @@
+package metaprobe
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"metaprobe/internal/obs/span"
+)
+
+// TestSelectionSpanTreeExemplarAndSLO drives one traced selection end
+// to end through the public API: the result carries a trace ID whose
+// recorded tree is rooted at a "selection" span with probe children,
+// the latency histogram's exposition carries an exemplar naming that
+// trace, the SLO tracker counted the request, and the cost summary
+// accounts for the probes spent.
+func TestSelectionSpanTreeExemplarAndSLO(t *testing.T) {
+	ms, queries := buildTestMetasearcher(t)
+	reg := NewMetrics()
+	tracer := NewSpanTracer(256)
+	ms.cfg.Metrics = reg
+	ms.cfg.Spans = tracer
+	ms.cfg.SLO = NewSLO(SLOConfig{})
+
+	res, err := ms.SelectWithCertaintyContext(context.Background(), queries[0], 2, Partial, 0.95, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("traced selection returned no trace ID")
+	}
+
+	roots := tracer.Tree(res.TraceID)
+	if len(roots) != 1 || roots[0].Span.Name != "selection" {
+		t.Fatalf("trace %s: got %d recorded roots, want the selection span", res.TraceID, len(roots))
+	}
+	root := roots[0].Span
+	if root.Attrs["query"] != queries[0] {
+		t.Errorf("root query attr = %q, want %q", root.Attrs["query"], queries[0])
+	}
+	probeSpans := 0
+	for _, n := range span.Flatten(roots) {
+		if n.Span.Name == "probe" {
+			probeSpans++
+			if n.Span.ParentID != root.SpanID {
+				t.Errorf("probe span parented to %q, want root %q", n.Span.ParentID, root.SpanID)
+			}
+		}
+	}
+	if probeSpans != res.Probes {
+		t.Errorf("trace holds %d probe spans, result reports %d probes", probeSpans, res.Probes)
+	}
+
+	if res.Cost == nil {
+		t.Fatal("traced selection returned no cost summary")
+	}
+	if res.Probes > 0 && res.Cost.ProbesIssued < res.Probes {
+		t.Errorf("cost accounts %d issued probes, result reports %d", res.Cost.ProbesIssued, res.Probes)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `# {trace_id="` + res.TraceID + `"}`; !strings.Contains(sb.String(), want) {
+		t.Errorf("latency exposition carries no exemplar for trace %s:\n%s", res.TraceID, sb.String())
+	}
+
+	if snap := ms.cfg.SLO.Snapshot(); snap.Total != 1 {
+		t.Errorf("SLO tracker counted %d requests, want 1", snap.Total)
+	}
+}
+
+// TestReady covers the readiness check's trained gate; the wedged-
+// refresher arm is exercised by the refresh package's streak tests.
+func TestReady(t *testing.T) {
+	ms, _ := buildTestMetasearcher(t)
+	if err := ms.Ready(); err != nil {
+		t.Errorf("trained metasearcher not ready: %v", err)
+	}
+	var untrained Metasearcher
+	if err := untrained.Ready(); err == nil || !strings.Contains(err.Error(), "not trained") {
+		t.Errorf("untrained Ready() = %v, want not-trained error", err)
+	}
+}
