@@ -297,6 +297,69 @@ func BenchmarkGreedyProbeStep(b *testing.B) {
 	}
 }
 
+// BenchmarkAProSelect measures one full adaptive-probing selection:
+// build the per-query state (RD convolution) and run greedy APro to a
+// 0.9 certainty, probes answered from a precomputed table so the
+// number measures selection compute, not index lookups. This is the
+// primary perf-regression gate (ns/op, B/op, allocs/op against the
+// committed BENCH_seed.json).
+func BenchmarkAProSelect(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	actual := make([]float64, env.Testbed.Len())
+	for i := range actual {
+		v, err := env.Rel.Probe(env.Testbed.DB(i), q.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		actual[i] = v
+	}
+	probe := func(db int) (float64, error) { return actual[db], nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := env.Selection(q, core.Absolute, 3)
+		if _, err := core.APro(sel, probe, &core.Greedy{}, 0.9, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserveProbe measures folding one observed (estimate,
+// actual) pair back into the model's error distributions — the
+// per-probe cost of online refinement.
+func BenchmarkObserveProbe(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	actual, err := env.Rel.Probe(env.Testbed.DB(0), q.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := i % env.Testbed.Len()
+		if err := env.Model.ObserveProbe(db, q.String(), q.NumTerms(), actual); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRDConvolve measures deriving every database's relevancy
+// distribution for a fresh query (estimate → classify → convolve the
+// error distribution) — the rd_convolve stage in isolation.
+func BenchmarkRDConvolve(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sel := env.Model.NewSelection(q.String(), q.NumTerms(), core.Absolute, 3); sel == nil {
+			b.Fatal("nil selection")
+		}
+	}
+}
+
 // BenchmarkTrainPerDatabase measures learning one database's EDs from
 // 300 training queries.
 func BenchmarkTrainPerDatabase(b *testing.B) {

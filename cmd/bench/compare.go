@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Regression tolerances. Alloc counts are deterministic per Go
+// version, so their gate is tight; wall-clock gates are generous
+// because CI runners are noisy and shared. A regression must clear
+// both a relative factor and an absolute slack so that near-zero
+// baselines (e.g. a 3-alloc op) don't fail on ±1 jitter.
+const (
+	nsFactor      = 1.75 // ns/op may grow up to 75%
+	allocFactor   = 1.10 // allocs/op may grow 10%...
+	allocSlack    = 2.0  // ...plus 2 objects
+	bytesFactor   = 1.25 // B/op may grow 25%...
+	bytesSlack    = 256  // ...plus 256 bytes (size-class rounding)
+	latencyFactor = 1.50 // workload mean latency may grow 50%...
+	latencySlackM = 2.0  // ...plus 2 ms
+	probesFactor  = 1.25 // probes/query may grow 25%...
+	probesSlack   = 0.5  // ...plus half a probe
+	corSlack      = 0.05 // avg Cor_a may drop 0.05 absolute
+)
+
+// diffAgainstBaseline loads the baseline report and compares the
+// current one against it, printing a line per checked metric. It
+// returns an error (failing the run) if any metric regresses beyond
+// its tolerance. Only keys present in both reports are compared, so
+// adding a benchmark or tier never breaks an existing baseline.
+func diffAgainstBaseline(cur benchReport, baselinePath string, w io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	regressions := compareReports(base, cur, w)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("%d perf regression(s) vs %s", len(regressions), baselinePath)
+	}
+	fmt.Fprintf(w, "no regressions vs %s\n", baselinePath)
+	return nil
+}
+
+// compareReports checks cur against base and returns regression
+// descriptions; it writes one status line per compared metric.
+func compareReports(base, cur benchReport, w io.Writer) []string {
+	var regs []string
+	checked := 0
+
+	higher := func(name string, b, c, factor, slack float64) {
+		checked++
+		limit := b*factor + slack
+		status := "ok"
+		if c > limit {
+			status = "REGRESSED"
+			regs = append(regs, fmt.Sprintf("%s: %.4g > limit %.4g (baseline %.4g)", name, c, limit, b))
+		}
+		fmt.Fprintf(w, "  %-52s base=%-12.4g cur=%-12.4g limit=%-12.4g %s\n", name, b, c, limit, status)
+	}
+	lower := func(name string, b, c, slack float64) {
+		checked++
+		limit := b - slack
+		status := "ok"
+		if c < limit {
+			status = "REGRESSED"
+			regs = append(regs, fmt.Sprintf("%s: %.4g < limit %.4g (baseline %.4g)", name, c, limit, b))
+		}
+		fmt.Fprintf(w, "  %-52s base=%-12.4g cur=%-12.4g limit=%-12.4g %s\n", name, b, c, limit, status)
+	}
+
+	micro := func(section string, b, c map[string]microResult) {
+		for name, bm := range b {
+			cm, ok := c[name]
+			if !ok {
+				fmt.Fprintf(w, "  %s/%s: missing from current report (skipped)\n", section, name)
+				continue
+			}
+			higher(section+"/"+name+" ns/op", bm.NsPerOp, cm.NsPerOp, nsFactor, 0)
+			higher(section+"/"+name+" allocs/op", bm.AllocsPerOp, cm.AllocsPerOp, allocFactor, allocSlack)
+			higher(section+"/"+name+" B/op", bm.BytesPerOp, cm.BytesPerOp, bytesFactor, bytesSlack)
+		}
+	}
+	micro("micro", base.Micro, cur.Micro)
+	micro("gobench", base.GoBench, cur.GoBench)
+
+	curTiers := make(map[string]workloadResult, len(cur.Workloads))
+	for _, res := range cur.Workloads {
+		curTiers[res.Preset+"/"+res.Name] = res
+	}
+	for _, b := range base.Workloads {
+		key := b.Preset + "/" + b.Name
+		c, ok := curTiers[key]
+		if !ok {
+			fmt.Fprintf(w, "  workload/%s: missing from current report (skipped)\n", key)
+			continue
+		}
+		higher("workload/"+key+" latency_mean_ms", b.LatencyMs.Mean, c.LatencyMs.Mean, latencyFactor, latencySlackM)
+		higher("workload/"+key+" probes_per_query", b.ProbesPerQuery, c.ProbesPerQuery, probesFactor, probesSlack)
+		// Only gate correctness on tiers that probe; the baseline tier's
+		// Cor_a floats with the corpus, not with code under test.
+		if b.ProbesPerQuery > 0 {
+			lower("workload/"+key+" avg_cor_a", b.AvgCorA, c.AvgCorA, corSlack)
+		}
+	}
+
+	fmt.Fprintf(w, "compared %d metrics, %d regression(s)\n", checked, len(regs))
+	return regs
+}

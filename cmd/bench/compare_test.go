@@ -1,0 +1,191 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"metaprobe/internal/obs/prof"
+)
+
+func TestParseGoBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		want microResult
+		ok   bool
+	}{
+		{
+			line: "BenchmarkSelectAbsolute-8   1220   961482 ns/op   210433 B/op   2531 allocs/op",
+			name: "BenchmarkSelectAbsolute",
+			want: microResult{NsPerOp: 961482, BytesPerOp: 210433, AllocsPerOp: 2531},
+			ok:   true,
+		},
+		{
+			// No -GOMAXPROCS suffix and no benchmem columns.
+			line: "BenchmarkObserveProbe 50000 30421 ns/op",
+			name: "BenchmarkObserveProbe",
+			want: microResult{NsPerOp: 30421},
+			ok:   true,
+		},
+		{
+			// A hyphen in the name that is not a GOMAXPROCS suffix stays.
+			line: "BenchmarkFoo-bar-16 10 5 ns/op",
+			name: "BenchmarkFoo-bar",
+			want: microResult{NsPerOp: 5},
+			ok:   true,
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  \tmetaprobe\t12.3s", ok: false},
+		{line: "BenchmarkBroken-8 notanumber 5 ns/op", ok: false},
+		{line: "", ok: false},
+	}
+	for _, c := range cases {
+		name, res, ok := parseGoBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parse(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if name != c.name || res != c.want {
+			t.Errorf("parse(%q) = %q %+v, want %q %+v", c.line, name, res, c.name, c.want)
+		}
+	}
+}
+
+func TestParseGoBenchFileKeepsFastestRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	content := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkSelect-8 100 2000 ns/op 500 B/op 10 allocs/op",
+		"BenchmarkSelect-8 100 1500 ns/op 500 B/op 10 allocs/op",
+		"BenchmarkSelect-8 100 1800 ns/op 500 B/op 10 allocs/op",
+		"PASS",
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseGoBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(got))
+	}
+	if got["BenchmarkSelect"].NsPerOp != 1500 {
+		t.Fatalf("kept ns/op %v, want fastest 1500", got["BenchmarkSelect"].NsPerOp)
+	}
+}
+
+func baseReportForCompare() benchReport {
+	return benchReport{
+		Micro: map[string]microResult{
+			"select": {NsPerOp: 1e6, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		},
+		GoBench: map[string]microResult{
+			"BenchmarkSelect": {NsPerOp: 1e6, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+		},
+		Workloads: []workloadResult{{
+			Preset: "health", Name: "apro",
+			LatencyMs:      latencySummary{Mean: 10},
+			ProbesPerQuery: 4,
+			AvgCorA:        0.9,
+		}},
+	}
+}
+
+func TestCompareReportsWithinTolerance(t *testing.T) {
+	base := baseReportForCompare()
+	cur := baseReportForCompare()
+	// Nudge everything inside the tolerances.
+	cur.Micro["select"] = microResult{NsPerOp: 1.5e6, AllocsPerOp: 1001, BytesPerOp: 1.1 * (1 << 20)}
+	cur.Workloads[0].LatencyMs.Mean = 13
+	cur.Workloads[0].ProbesPerQuery = 4.4
+	cur.Workloads[0].AvgCorA = 0.87
+	if regs := compareReports(base, cur, io.Discard); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	base := baseReportForCompare()
+
+	cases := []struct {
+		name   string
+		mutate func(*benchReport)
+	}{
+		{"micro allocs", func(r *benchReport) {
+			r.Micro["select"] = microResult{NsPerOp: 1e6, AllocsPerOp: 1200, BytesPerOp: 1 << 20}
+		}},
+		{"gobench ns", func(r *benchReport) {
+			r.GoBench["BenchmarkSelect"] = microResult{NsPerOp: 2e6, AllocsPerOp: 1000, BytesPerOp: 1 << 20}
+		}},
+		{"workload latency", func(r *benchReport) { r.Workloads[0].LatencyMs.Mean = 30 }},
+		{"workload probes", func(r *benchReport) { r.Workloads[0].ProbesPerQuery = 6 }},
+		{"workload correctness", func(r *benchReport) { r.Workloads[0].AvgCorA = 0.8 }},
+	}
+	for _, c := range cases {
+		cur := baseReportForCompare()
+		c.mutate(&cur)
+		if regs := compareReports(base, cur, io.Discard); len(regs) == 0 {
+			t.Errorf("%s: regression not flagged", c.name)
+		}
+	}
+}
+
+func TestCompareSkipsMissingKeys(t *testing.T) {
+	base := baseReportForCompare()
+	base.Micro["extra"] = microResult{NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1}
+	base.Workloads = append(base.Workloads, workloadResult{Preset: "health", Name: "gone"})
+	cur := baseReportForCompare()
+	if regs := compareReports(base, cur, io.Discard); len(regs) != 0 {
+		t.Fatalf("missing keys must be skipped, got regressions: %v", regs)
+	}
+}
+
+func TestDumpProfiles(t *testing.T) {
+	c, err := prof.New(prof.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap := c.CaptureHeap(); cap == nil {
+		t.Fatal("heap capture failed")
+	}
+	dir := filepath.Join(t.TempDir(), "profiles")
+	if err := dumpProfiles(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasPrefix(entries[0].Name(), "heap-") {
+		t.Fatalf("dumped %v, want one heap-*.pb.gz", entries)
+	}
+	info, err := entries[0].Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("dumped profile is empty")
+	}
+}
+
+func TestDiffAgainstBaselineErrorPaths(t *testing.T) {
+	cur := baseReportForCompare()
+	if err := diffAgainstBaseline(cur, filepath.Join(t.TempDir(), "missing.json"), io.Discard); err == nil {
+		t.Error("missing baseline file not reported")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffAgainstBaseline(cur, bad, io.Discard); err == nil {
+		t.Error("corrupt baseline not reported")
+	}
+}

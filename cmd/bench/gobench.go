@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// parseGoBenchFile reads `go test -bench -benchmem` output and
+// returns one microResult per benchmark name. Lines look like
+//
+//	BenchmarkSelectAbsolute-8   1220   961482 ns/op   210433 B/op   2531 allocs/op
+//
+// The -GOMAXPROCS suffix is stripped so baselines compare across
+// machines with different core counts, and with -count > 1 each
+// benchmark keeps its fastest run (ns/op minimum) — the standard way
+// to reduce scheduler noise; allocs/op and B/op are deterministic and
+// identical across runs anyway. Non-benchmark lines (ok, PASS, goos:
+// headers) are ignored.
+func parseGoBenchFile(path string) (map[string]microResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]microResult)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, res, ok := parseGoBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseGoBenchLine parses one benchmark result line; ok is false for
+// anything that is not one.
+func parseGoBenchLine(line string) (string, microResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", microResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	// fields[1] is the iteration count; the rest are "value unit" pairs.
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", microResult{}, false
+	}
+	var res microResult
+	var sawNs bool
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", microResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp, sawNs = v, true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if !sawNs {
+		return "", microResult{}, false
+	}
+	return name, res, true
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"testing"
+
+	"metaprobe/internal/core"
+	"metaprobe/internal/experiments"
+)
+
+// runMicro measures the algorithmic hot paths in-process with
+// testing.Benchmark (callable from a main program): a full greedy
+// APro selection, one online ObserveProbe refinement, and the RD
+// convolution that builds a selection's initial state. The
+// environment is fixed (health preset, small scale, fixed seed)
+// independent of the workload flags, so micro numbers are comparable
+// across runs regardless of how the workload tiers were configured.
+func runMicro(cfg benchConfig, log *slog.Logger) (map[string]microResult, error) {
+	ecfg := experiments.SmallConfig()
+	ecfg.Scale = 0.008
+	ecfg.Train2, ecfg.Train3 = 80, 80
+	ecfg.Test2, ecfg.Test3 = 40, 40
+	log.Info("building micro environment", "scale", ecfg.Scale, "seed", ecfg.Seed)
+	env, err := experiments.Setup(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	k, t := 3, 0.9
+
+	// Precompute per-query probe answers so the probe closure inside
+	// the select benchmark measures selection compute, not index
+	// lookups with a cold cache.
+	qs := env.Test
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("micro environment has no test queries")
+	}
+	actuals := make([][]float64, len(qs))
+	for qi, q := range qs {
+		actuals[qi] = make([]float64, env.Testbed.Len())
+		for i := 0; i < env.Testbed.Len(); i++ {
+			v, err := env.Rel.Probe(env.Testbed.DB(i), q.String())
+			if err != nil {
+				return nil, err
+			}
+			actuals[qi][i] = v
+		}
+	}
+
+	out := make(map[string]microResult)
+	record := func(name string, fn func(b *testing.B)) {
+		log.Info("micro benchmark", "name", name)
+		r := testing.Benchmark(fn)
+		out[name] = microResult{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		log.Info("micro benchmark done", "name", name, "iters", r.N,
+			"ns_per_op", r.NsPerOp(), "allocs_per_op", r.AllocsPerOp())
+	}
+
+	// Full selection: build the per-query state and run greedy APro to
+	// the certainty threshold, probes answered from the precomputed
+	// table. This is the end-to-end algorithmic cost of one query.
+	record("select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qi := i % len(qs)
+			q := qs[qi]
+			sel := env.Selection(q, core.Absolute, k)
+			probe := func(db int) (float64, error) { return actuals[qi][db], nil }
+			if _, err := core.APro(sel, probe, &core.Greedy{}, t, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Online refinement: fold one observed (estimate, actual) pair
+	// back into the model's error distributions.
+	record("observe_probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			qi := i % len(qs)
+			q := qs[qi]
+			db := i % env.Testbed.Len()
+			if err := env.Model.ObserveProbe(db, q.String(), q.NumTerms(), actuals[qi][db]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// RD convolution: derive every database's relevancy distribution
+	// for a fresh query (estimate → classify → convolve the ED) —
+	// the rd_convolve stage in isolation.
+	record("rd_convolve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			if sel := env.Model.NewSelection(q.String(), q.NumTerms(), core.Absolute, k); sel == nil {
+				b.Fatal("nil selection")
+			}
+		}
+	})
+	return out, nil
+}

@@ -32,9 +32,11 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"metaprobe"
@@ -43,6 +45,7 @@ import (
 	"metaprobe/internal/eval"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/prof"
 	"metaprobe/internal/obs/span"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
@@ -98,6 +101,9 @@ type loadReport struct {
 	costBytes                                   int64
 	// slo is the end-of-run burn-rate snapshot.
 	slo obs.SLOSnapshot
+	// runtime is the final runtime-telemetry sample (heap, GC pauses,
+	// scheduler latency) taken after the replay drained.
+	runtime map[string]float64
 	// metrics is the final Prometheus-format snapshot of the registry
 	// every database wrapper and selection call recorded into.
 	metrics string
@@ -138,16 +144,56 @@ func main() {
 	}
 	printReport(os.Stdout, cfg, rep)
 	if cfg.serve != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", obs.MetricsHandler(rep.reg))
-		mux.Handle("/debug/spans", span.Handler(rep.spans))
-		mux.Handle("/debug/slo", obs.SLOHandler(rep.sloT))
-		mux.Handle("/healthz", obs.HealthzHandler())
-		mux.Handle("/readyz", obs.ReadyzCheckHandler(nil))
-		logger.Info("serving observability endpoints",
-			"addr", cfg.serve, "endpoints", "/metrics /debug/spans /debug/slo /healthz /readyz")
-		logger.Error(http.ListenAndServe(cfg.serve, mux).Error())
-		os.Exit(1)
+		if err := serveObservability(cfg.serve, rep, logger); err != nil {
+			logger.Error(err.Error())
+			os.Exit(1)
+		}
+	}
+}
+
+// serveObservability keeps the process up after the replay serving
+// the recorded observability state, with continuous profiling and
+// runtime telemetry running until SIGINT/SIGTERM. Shutdown drains the
+// listener, then stops the captor (flushing one final heap capture)
+// and the sampler (one final runtime sample).
+func serveObservability(addr string, rep loadReport, logger *slog.Logger) error {
+	captor, err := prof.New(prof.Config{Metrics: rep.reg})
+	if err != nil {
+		return err
+	}
+	sampler := prof.NewSampler(prof.SamplerConfig{Metrics: rep.reg})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	captor.Start(ctx)
+	sampler.Start(ctx)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(rep.reg))
+	mux.Handle("/debug/spans", span.Handler(rep.spans))
+	mux.Handle("/debug/slo", obs.SLOHandler(rep.sloT))
+	mux.Handle("/debug/profiles", prof.Handler(captor))
+	mux.Handle("/debug/goroutines", prof.GoroutineDumpHandler())
+	mux.Handle("/healthz", obs.HealthzHandler())
+	mux.Handle("/readyz", obs.ReadyzCheckHandler(nil))
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving observability endpoints",
+		"addr", addr, "endpoints", "/metrics /debug/spans /debug/slo /debug/profiles /debug/goroutines /healthz /readyz")
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Error("server shutdown", "err", err)
+		}
+		captor.Stop()
+		sampler.Stop()
+		logger.Info("profiler stopped", "captures_retained", len(captor.List()))
+		return nil
 	}
 }
 
@@ -163,6 +209,12 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	}
 	reg := metaprobe.NewMetrics()
 	obs.RegisterBuildInfo(reg, "loadtest", strconv.Itoa(core.FormatVersion))
+	// Runtime telemetry runs for the whole replay; Stop flushes a final
+	// sample before the metrics snapshot is taken, so the report's
+	// mp_runtime_* series describe the post-replay state.
+	sampler := prof.NewSampler(prof.SamplerConfig{Interval: time.Second, Metrics: reg})
+	sampler.Start(context.Background())
+	defer sampler.Stop()
 	var spans *metaprobe.SpanTracer
 	if cfg.trace {
 		spans = metaprobe.NewSpanTracer(0)
@@ -333,6 +385,9 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 	// estimator the /metrics endpoint exposes — instead of ad-hoc
 	// sorting.
 	qs := latencyHist.Quantiles(0.50, 0.90, 0.99)
+	// Stop (idempotent with the deferred call) flushes a final runtime
+	// sample so the snapshot below reflects the drained state.
+	sampler.Stop()
 	var snapshot strings.Builder
 	if err := reg.WritePrometheus(&snapshot); err != nil {
 		return loadReport{}, err
@@ -355,6 +410,7 @@ func runLoadTest(cfg loadConfig, log *slog.Logger) (loadReport, error) {
 		costCacheHits:    costCacheHits,
 		costBytes:        costBytes,
 		slo:              slo.Snapshot(),
+		runtime:          sampler.Snapshot(),
 		metrics:          snapshot.String(),
 		reg:              reg,
 		spans:            spans,
@@ -388,6 +444,26 @@ func printReport(w *os.File, cfg loadConfig, rep loadReport) {
 	for _, win := range rep.slo.Windows {
 		fmt.Fprintf(w, "slo %-12s latency burn %.2f, availability burn %.2f\n",
 			win.Window, win.LatencyBurnRate, win.AvailabilityBurnRate)
+	}
+	if rep.runtime != nil {
+		if v, ok := rep.runtime["mp_runtime_heap_inuse_bytes"]; ok {
+			fmt.Fprintf(w, "runtime          heap in use %.1f MiB", v/(1<<20))
+			if g, ok := rep.runtime["mp_runtime_goroutines"]; ok {
+				fmt.Fprintf(w, ", %0.f goroutines", g)
+			}
+			if c, ok := rep.runtime["mp_runtime_gc_cycles_total"]; ok {
+				fmt.Fprintf(w, ", %0.f GC cycles", c)
+			}
+			fmt.Fprintln(w)
+		}
+		if p50, ok := rep.runtime["mp_runtime_gc_pause_seconds{q=0.5}"]; ok {
+			p99 := rep.runtime["mp_runtime_gc_pause_seconds{q=0.99}"]
+			fmt.Fprintf(w, "gc pause         p50 %.3fms, p99 %.3fms\n", p50*1e3, p99*1e3)
+		}
+		if p50, ok := rep.runtime["mp_runtime_sched_latency_seconds{q=0.5}"]; ok {
+			p99 := rep.runtime["mp_runtime_sched_latency_seconds{q=0.99}"]
+			fmt.Fprintf(w, "sched latency    p50 %.3fms, p99 %.3fms\n", p50*1e3, p99*1e3)
+		}
 	}
 	if rep.metrics != "" {
 		fmt.Fprintf(w, "\n--- metrics snapshot (Prometheus text format) ---\n%s", rep.metrics)

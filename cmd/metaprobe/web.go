@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"html/template"
 	"net/http"
 	"net/http/pprof"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"metaprobe"
@@ -13,6 +17,7 @@ import (
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/hidden"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/prof"
 	"metaprobe/internal/obs/span"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
@@ -33,6 +38,7 @@ func web(args []string) {
 	scale := fs.Float64("scale", 0.02, "testbed size multiplier")
 	trainN := fs.Int("train", 300, "training queries per term count")
 	seed := fs.Int64("seed", 2004, "random seed")
+	profInterval := fs.Duration("prof-interval", 30*time.Second, "continuous-profiling capture interval (0 disables)")
 	fs.Parse(args)
 
 	logger.Info("building and training the metasearcher", "scale", *scale)
@@ -40,10 +46,45 @@ func web(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Continuous profiling and runtime telemetry run for the lifetime
+	// of the server; SIGINT/SIGTERM drains the listener, then stops the
+	// captor (flushing one final heap profile) and the sampler (one
+	// final runtime sample), so the last captures reflect shutdown
+	// state rather than whenever the ticker last fired.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *profInterval > 0 {
+		captor, err := prof.New(prof.Config{Interval: *profInterval, Metrics: env.reg})
+		if err != nil {
+			fatal(err)
+		}
+		env.captor = captor
+		env.sampler = prof.NewSampler(prof.SamplerConfig{Metrics: env.reg})
+		env.captor.Start(ctx)
+		env.sampler.Start(ctx)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newWebMux(ms, env)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("serving the metasearch UI",
 		"addr", *addr,
-		"endpoints", "/metrics /debug/trace /debug/spans /debug/slo /debug/calibration /debug/model /debug/pprof /healthz /readyz")
-	fatal(http.ListenAndServe(*addr, newWebMux(ms, env)))
+		"endpoints", "/metrics /debug/trace /debug/spans /debug/slo /debug/calibration /debug/model /debug/profiles /debug/goroutines /debug/pprof /healthz /readyz")
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Error("server shutdown", "err", err)
+		}
+		env.captor.Stop()
+		env.sampler.Stop()
+		logger.Info("profiler stopped", "captures_retained", len(env.captor.List()))
+	}
 }
 
 // webEnv bundles the observability state behind the demo server: the
@@ -58,6 +99,12 @@ type webEnv struct {
 	slo    *metaprobe.SLO
 	cal    *metaprobe.Calibration
 	caches []webCache
+	// captor and sampler are the continuous profiler and the
+	// runtime-metrics sampler; nil when profiling is disabled (the
+	// /debug/profiles handler and the telemetry panel degrade
+	// gracefully).
+	captor  *prof.Captor
+	sampler *prof.Sampler
 }
 
 // webCache pairs a database name with its cache wrapper.
@@ -172,6 +219,8 @@ func newWebMux(ms *metaprobe.Metasearcher, env *webEnv) *http.ServeMux {
 	mux.Handle("/debug/model", obs.JSONHandler(func() any { return ms.ModelInfo() }))
 	mux.Handle("/healthz", obs.HealthzHandler())
 	mux.Handle("/readyz", obs.ReadyzCheckHandler(ms.Ready))
+	mux.Handle("/debug/profiles", prof.Handler(env.captor))
+	mux.Handle("/debug/goroutines", prof.GoroutineDumpHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -229,6 +278,7 @@ type webData struct {
 	Error       string
 	Databases   []string
 	Caches      []cacheRow
+	Runtime     []runtimeRow
 	Calibration *metaprobe.CalibrationSnapshot
 	Model       metaprobe.ModelInfo
 	TraceID     string
@@ -239,6 +289,9 @@ type webData struct {
 // ServeHTTP implements http.Handler.
 func (u *WebUI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	data := webData{K: 3, T: 0.9, Databases: u.ms.Databases(), Model: u.ms.ModelInfo()}
+	if u.env != nil {
+		data.Runtime = runtimeRows(u.env.sampler)
+	}
 	q := r.URL.Query().Get("q")
 	if kStr := r.URL.Query().Get("k"); kStr != "" {
 		if k, err := strconv.Atoi(kStr); err == nil && k >= 1 && k <= len(data.Databases) {
@@ -346,6 +399,48 @@ func (u *WebUI) waterfall(traceID string) []waterfallRow {
 	return rows
 }
 
+// runtimeRow is one line of the runtime-telemetry panel.
+type runtimeRow struct {
+	Name  string
+	Value string
+}
+
+// runtimeRows renders the sampler's latest snapshot as a short,
+// curated table: memory, GC pressure, and scheduler health. Series a
+// Go version does not expose are simply absent.
+func runtimeRows(sampler *prof.Sampler) []runtimeRow {
+	if sampler == nil {
+		return nil
+	}
+	// Refresh so the panel shows "now", not the last ticker fire.
+	sampler.Sample()
+	snap := sampler.Snapshot()
+	ms := func(sec float64) string { return fmt.Sprintf("%.3f ms", sec*1e3) }
+	mib := func(b float64) string { return fmt.Sprintf("%.1f MiB", b/(1<<20)) }
+	count := func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) }
+	specs := []struct {
+		key    string
+		label  string
+		format func(float64) string
+	}{
+		{"mp_runtime_heap_inuse_bytes", "heap in use", mib},
+		{"mp_runtime_gc_goal_bytes", "GC goal", mib},
+		{"mp_runtime_goroutines", "goroutines", count},
+		{"mp_runtime_gc_cycles_total", "GC cycles", count},
+		{"mp_runtime_gc_pause_seconds{q=0.5}", "GC pause p50", ms},
+		{"mp_runtime_gc_pause_seconds{q=0.99}", "GC pause p99", ms},
+		{"mp_runtime_sched_latency_seconds{q=0.5}", "sched latency p50", ms},
+		{"mp_runtime_sched_latency_seconds{q=0.99}", "sched latency p99", ms},
+	}
+	var rows []runtimeRow
+	for _, s := range specs {
+		if v, ok := snap[s.key]; ok {
+			rows = append(rows, runtimeRow{Name: s.label, Value: s.format(v)})
+		}
+	}
+	return rows
+}
+
 // cacheRows snapshots the per-database result-cache statistics.
 func (u *WebUI) cacheRows() []cacheRow {
 	if u.env == nil {
@@ -445,4 +540,13 @@ with certainty {{printf "%.3f" .Selection.Certainty}} after {{.Selection.Probes}
 <a href="/debug/trace">/debug/trace</a>; span store at <a href="/debug/spans">/debug/spans</a>;
 SLO burn rates at <a href="/debug/slo">/debug/slo</a>; profiles at <a href="/debug/pprof/">/debug/pprof</a></p>
 {{end}}{{end}}{{end}}
+{{if .Runtime}}
+<h3>Runtime telemetry</h3>
+<table><tr>{{range .Runtime}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Runtime}}<td>{{.Value}}</td>{{end}}</tr></table>
+<p class="meta">continuous profiles at <a href="/debug/profiles">/debug/profiles</a>
+(<a href="/debug/profiles?latest=cpu">latest cpu</a>, <a href="/debug/profiles?latest=heap">latest heap</a>);
+goroutine dump at <a href="/debug/goroutines">/debug/goroutines</a>;
+per-stage selection timing in <a href="/metrics">/metrics</a> (mp_selection_stage_seconds)</p>
+{{end}}
 </body></html>`

@@ -9,6 +9,7 @@ import (
 
 	"metaprobe"
 	"metaprobe/internal/obs"
+	"metaprobe/internal/obs/prof"
 )
 
 func TestWebUIEndToEnd(t *testing.T) {
@@ -17,6 +18,18 @@ func TestWebUIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ms.Close()
+	// Attach the profiling subsystem the way web() does, without the
+	// background loops: one manual heap capture and one runtime sample
+	// give the endpoints and the telemetry panel data to serve.
+	env.captor, err = prof.New(prof.Config{Metrics: env.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := env.captor.CaptureHeap(); c == nil {
+		t.Fatal("heap capture failed")
+	}
+	env.sampler = prof.NewSampler(prof.SamplerConfig{Metrics: env.reg})
+	env.sampler.Sample()
 	srv := httptest.NewServer(newWebMux(ms, env))
 	defer srv.Close()
 
@@ -177,5 +190,41 @@ func TestWebUIEndToEnd(t *testing.T) {
 	// pprof is mounted.
 	if body := get(srv.URL + "/debug/pprof/"); !strings.Contains(body, "profile") {
 		t.Error("/debug/pprof/ index missing")
+	}
+
+	// The continuous-profile store lists the heap capture taken above
+	// and serves its raw blob.
+	var captures []prof.Capture
+	if err := json.Unmarshal([]byte(get(srv.URL+"/debug/profiles")), &captures); err != nil {
+		t.Fatalf("/debug/profiles is not JSON: %v", err)
+	}
+	if len(captures) == 0 || captures[0].Kind != prof.KindHeap {
+		t.Fatalf("/debug/profiles = %+v, want one heap capture", captures)
+	}
+	if blob := get(srv.URL + "/debug/profiles?latest=heap"); len(blob) == 0 {
+		t.Error("/debug/profiles?latest=heap returned an empty blob")
+	}
+	if dump := get(srv.URL + "/debug/goroutines"); !strings.Contains(dump, "goroutine") {
+		t.Error("/debug/goroutines missing goroutine dump")
+	}
+
+	// Runtime telemetry shows on the page and in /metrics; the queries
+	// above also populated the per-stage attribution histograms.
+	if home := get(srv.URL + "/"); !strings.Contains(home, "Runtime telemetry") ||
+		!strings.Contains(home, "heap in use") {
+		t.Error("home page missing the runtime-telemetry panel")
+	}
+	metrics = get(srv.URL + "/metrics")
+	for _, want := range []string{
+		"mp_runtime_heap_inuse_bytes",
+		"mp_runtime_goroutines",
+		`mp_prof_captures_total{kind="heap"}`,
+		`mp_selection_stage_seconds{stage="rd_convolve"`,
+		`mp_selection_stage_seconds{stage="ecor_dp"`,
+		`mp_selection_stage_allocs{stage="rd_convolve"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -215,6 +215,9 @@ type Selection struct {
 	estimates []float64
 	probed    []bool
 	opts      BestSetOptions
+	// stageObs, when set, receives hot-path stage timings (see
+	// stage.go). Nil by default: attribution off.
+	stageObs StageObserver
 }
 
 // NewSelection builds the initial (unprobed) state for a query.

@@ -109,7 +109,9 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 	var probeErrs []error
 	first := true
 	for {
+		mark := s.BeginStage()
 		set, e := s.Best()
+		s.EndStage(mark, StageECorDP)
 		out.Set, out.Certainty = set, e
 		// Every loop entry after a step re-evaluates the best set, so
 		// this is the natural place to close out the trajectory: the
@@ -128,7 +130,9 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 		if len(s.Unprobed()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
 			return out, errors.Join(probeErrs...)
 		}
+		mark = s.BeginStage()
 		i, err := policy.Next(s, t)
+		s.EndStage(mark, StageRank)
 		if err != nil {
 			return out, fmt.Errorf("core: probe policy %s: %w", policy.Name(), err)
 		}
@@ -139,7 +143,9 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 		if ur, ok := policy.(UsefulnessReporter); ok {
 			usefulness = ur.LastUsefulness()
 		}
+		mark = s.BeginStage()
 		v, err := probe(i)
+		s.EndStage(mark, StageProbe)
 		if err != nil {
 			s.MarkUnprobeable(i)
 			step := ProbeStep{DB: i, Err: err, Usefulness: usefulness}

@@ -1,0 +1,131 @@
+// Package leakcheck provides a goroutine-leak assertion for
+// integration tests: snapshot the goroutines alive at test start,
+// and at cleanup fail the test if extra non-system goroutines are
+// still running after a grace period. Background workers — the probe
+// pool, the refresh loop, the profile captor — must die with their
+// context; this makes a worker that outlives it a test failure
+// instead of silent creep.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the checker needs.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// ignoredStacks marks goroutines that are expected to persist: the
+// runtime's own workers, the testing framework, and stdlib pollers
+// that stay warm once started.
+var ignoredStacks = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"signal.signal_recv",
+	"sigterm.handler",
+	"runtime_mcall",
+	"(*loggingT).flushDaemon",
+	"goroutine in C code",
+	"net/http.(*persistConn)", // keep-alive conns drain on their own timer
+	"internal/poll.runtime_pollWait",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"runtime/trace.Start",
+	"runtime/pprof.profileWriter", // CPU profiler writer drains asynchronously
+}
+
+// interesting reports whether one goroutine stack (a block from
+// runtime.Stack(all=true)) represents a goroutine the test should be
+// charged with.
+func interesting(stack string) bool {
+	if strings.TrimSpace(stack) == "" {
+		return false
+	}
+	for _, ig := range ignoredStacks {
+		if strings.Contains(stack, ig) {
+			return false
+		}
+	}
+	return true
+}
+
+// stacks returns the interesting goroutine stacks keyed by goroutine
+// ID (the "goroutine N" header), which is stable for a goroutine's
+// lifetime — unlike the stack text, whose state word and argument
+// addresses shift between snapshots.
+func stacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !interesting(g) {
+			continue
+		}
+		id, rest, ok := strings.Cut(strings.TrimPrefix(g, "goroutine "), " ")
+		if !ok || rest == "" {
+			continue
+		}
+		out[id] = g
+	}
+	return out
+}
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails t if goroutines not present at the snapshot are still alive
+// once the grace period expires. Call it first in the test:
+//
+//	func TestPool(t *testing.T) {
+//	    leakcheck.Check(t)
+//	    ...
+//	}
+//
+// The checker polls rather than sleeping flat-out, so leak-free tests
+// pay near-zero extra wall time.
+func Check(t TB) {
+	t.Helper()
+	before := stacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, g := range stacks() {
+				if _, ok := before[id]; !ok {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var b strings.Builder
+		for i, g := range leaked {
+			fmt.Fprintf(&b, "\n--- leaked goroutine %d ---\n%s\n", i+1, g)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) outlived the test:%s", len(leaked), b.String())
+	})
+}

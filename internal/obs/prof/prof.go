@@ -1,0 +1,345 @@
+// Package prof is metaprobe's zero-dependency performance
+// observability layer: a continuous profiler that captures CPU and
+// heap pprof profiles into a bounded in-memory ring (mirroring the
+// span store), a runtime-telemetry sampler that surfaces
+// runtime/metrics as mp_runtime_* gauges, and HTTP handlers that
+// serve both.
+//
+// The paper's cost model counts probes; the ROADMAP's next refactor
+// counts allocations. This package supplies the evidence for the
+// latter: instead of a one-off `go tool pprof` session, the captor
+// keeps a rolling window of recent profiles so a latency incident
+// observed through the span store can be matched to the CPU and heap
+// shape of the same minutes. Everything is stdlib-only and
+// nil-tolerant: a nil *Captor or *Sampler is a valid disabled value.
+package prof
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"metaprobe/internal/obs"
+)
+
+// Kind discriminates the profile types the captor records.
+const (
+	KindCPU  = "cpu"
+	KindHeap = "heap"
+)
+
+// Capture is one recorded profile. Blob holds the raw pprof protobuf
+// (gzip-compressed, as written by runtime/pprof) and is omitted from
+// list views — fetch it by ID from the profiles handler and feed it
+// to `go tool pprof`.
+type Capture struct {
+	ID       int64         `json:"id"`
+	Kind     string        `json:"kind"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Size     int           `json:"size_bytes"`
+	// Meta carries capture-scoped context. Heap captures include the
+	// allocation deltas since the previous heap capture
+	// (delta_alloc_bytes, delta_alloc_objects, delta_gc_cycles), which
+	// is what "delta heap" means here: the blob itself is a full heap
+	// profile — diff two of them with `go tool pprof -diff_base` — and
+	// the meta tells you how much churn the interval saw.
+	Meta map[string]float64 `json:"meta,omitempty"`
+	Blob []byte             `json:"-"`
+}
+
+// Config configures a Captor. The zero value is usable: all fields
+// default sanely.
+type Config struct {
+	// Interval is the spacing between capture rounds (default 30s).
+	// Each round records one CPU profile and one heap profile.
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile samples (default 1s,
+	// clamped below Interval).
+	CPUDuration time.Duration
+	// Capacity bounds the ring of retained captures (default 32,
+	// counting CPU and heap captures separately toward the bound).
+	Capacity int
+	// Metrics, when set, receives mp_prof_* series.
+	Metrics *obs.Registry
+}
+
+// Captor periodically records CPU and heap profiles into a bounded
+// ring. Create with New, then Start; Stop flushes a final heap
+// capture so a shutdown never drops the last interval.
+type Captor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ring   []*Capture // oldest first, bounded by cfg.Capacity
+	nextID int64
+	// previous-heap-capture counters, for delta meta
+	prevAllocBytes   float64
+	prevAllocObjects float64
+	prevGCCycles     float64
+	havePrev         bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	captures  func(kind string) *obs.Counter
+	errors    func(kind string) *obs.Counter
+	dropped   *obs.Counter
+	capSecs   *obs.Histogram
+	lastUnix  *obs.Gauge
+	retainedG *obs.Gauge
+}
+
+// New creates a Captor. Returns an error only for nonsensical
+// configuration.
+func New(cfg Config) (*Captor, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	if cfg.CPUDuration >= cfg.Interval {
+		return nil, fmt.Errorf("prof: CPUDuration %v must be shorter than Interval %v", cfg.CPUDuration, cfg.Interval)
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 32
+	}
+	c := &Captor{cfg: cfg}
+	r := cfg.Metrics // nil registry degrades every handle to a shared no-op
+	r.Help("mp_prof_captures_total", "Profiles captured, by kind (cpu|heap).")
+	r.Help("mp_prof_capture_errors_total", "Profile capture attempts that failed, by kind.")
+	r.Help("mp_prof_dropped_total", "Captures evicted from the bounded ring store.")
+	r.Help("mp_prof_capture_seconds", "Wall time spent recording one profile.")
+	r.Help("mp_prof_last_capture_unix", "Unix time of the most recent successful capture.")
+	r.Help("mp_prof_retained", "Captures currently retained in the ring store.")
+	c.captures = func(kind string) *obs.Counter {
+		return r.Counter("mp_prof_captures_total", obs.Labels{"kind": kind})
+	}
+	c.errors = func(kind string) *obs.Counter {
+		return r.Counter("mp_prof_capture_errors_total", obs.Labels{"kind": kind})
+	}
+	c.dropped = r.Counter("mp_prof_dropped_total", nil)
+	c.capSecs = r.Histogram("mp_prof_capture_seconds", nil)
+	c.lastUnix = r.Gauge("mp_prof_last_capture_unix", nil)
+	c.retainedG = r.Gauge("mp_prof_retained", nil)
+	return c, nil
+}
+
+// Start launches the background capture loop. It is a no-op on a nil
+// captor or if already started. The loop stops when ctx is cancelled
+// or Stop is called.
+func (c *Captor) Start(ctx context.Context) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.done != nil {
+		c.mu.Unlock()
+		return
+	}
+	ctx, c.cancel = context.WithCancel(ctx)
+	c.done = make(chan struct{})
+	done := c.done
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				c.CaptureCPU(ctx)
+				c.CaptureHeap()
+			}
+		}
+	}()
+}
+
+// Stop cancels the capture loop, waits for it to exit, and records
+// one final heap capture so the shutdown interval is not lost. Safe
+// to call on a nil or never-started captor, and idempotent.
+func (c *Captor) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	cancel, done := c.cancel, c.done
+	c.cancel, c.done = nil, nil
+	c.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+	c.CaptureHeap()
+}
+
+// CaptureCPU records one CPU profile of the configured duration and
+// stores it. Returns the capture, or nil if profiling could not start
+// (most commonly: another CPU profile is already active — CPU
+// profiling is process-exclusive) or ctx ended before the sampling
+// window completed.
+func (c *Captor) CaptureCPU(ctx context.Context) *Capture {
+	if c == nil {
+		return nil
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		c.errors(KindCPU).Inc()
+		return nil
+	}
+	select {
+	case <-time.After(c.cfg.CPUDuration):
+	case <-ctx.Done():
+		pprof.StopCPUProfile()
+		c.errors(KindCPU).Inc()
+		return nil
+	}
+	pprof.StopCPUProfile()
+	return c.store(&Capture{
+		Kind:     KindCPU,
+		Start:    start,
+		Duration: time.Since(start),
+		Blob:     append([]byte(nil), buf.Bytes()...),
+	})
+}
+
+// heapDeltaSamples are the runtime/metrics read alongside each heap
+// capture to produce interval deltas. All three names are stable
+// since runtime/metrics shipped in Go 1.16.
+var heapDeltaSamples = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// CaptureHeap records one heap profile and stores it, attaching
+// allocation deltas since the previous heap capture as meta.
+func (c *Captor) CaptureHeap() *Capture {
+	if c == nil {
+		return nil
+	}
+	start := time.Now()
+	p := pprof.Lookup("heap")
+	if p == nil {
+		c.errors(KindHeap).Inc()
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		c.errors(KindHeap).Inc()
+		return nil
+	}
+	samples := make([]metrics.Sample, len(heapDeltaSamples))
+	for i, name := range heapDeltaSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	val := func(i int) float64 {
+		switch samples[i].Value.Kind() {
+		case metrics.KindUint64:
+			return float64(samples[i].Value.Uint64())
+		case metrics.KindFloat64:
+			return samples[i].Value.Float64()
+		}
+		return 0
+	}
+	allocBytes, allocObjects, gcCycles := val(0), val(1), val(2)
+
+	cap_ := &Capture{
+		Kind:     KindHeap,
+		Start:    start,
+		Duration: time.Since(start),
+		Blob:     append([]byte(nil), buf.Bytes()...),
+	}
+	c.mu.Lock()
+	if c.havePrev {
+		cap_.Meta = map[string]float64{
+			"delta_alloc_bytes":   allocBytes - c.prevAllocBytes,
+			"delta_alloc_objects": allocObjects - c.prevAllocObjects,
+			"delta_gc_cycles":     gcCycles - c.prevGCCycles,
+		}
+	}
+	c.prevAllocBytes, c.prevAllocObjects, c.prevGCCycles = allocBytes, allocObjects, gcCycles
+	c.havePrev = true
+	c.mu.Unlock()
+	return c.store(cap_)
+}
+
+// store appends a capture to the ring, evicting the oldest past
+// capacity, and updates metrics.
+func (c *Captor) store(cap_ *Capture) *Capture {
+	cap_.Size = len(cap_.Blob)
+	c.mu.Lock()
+	c.nextID++
+	cap_.ID = c.nextID
+	c.ring = append(c.ring, cap_)
+	for len(c.ring) > c.cfg.Capacity {
+		c.ring = c.ring[1:]
+		c.dropped.Inc()
+	}
+	retained := len(c.ring)
+	c.mu.Unlock()
+
+	c.captures(cap_.Kind).Inc()
+	c.capSecs.Observe(cap_.Duration.Seconds())
+	c.lastUnix.Set(float64(cap_.Start.Unix()))
+	c.retainedG.Set(float64(retained))
+	return cap_
+}
+
+// List returns the retained captures newest first, without blobs
+// (Capture.Blob is already excluded from JSON; the returned structs
+// share the blob slices, so callers must not mutate them).
+func (c *Captor) List() []*Capture {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Capture, len(c.ring))
+	for i, cp := range c.ring {
+		out[len(c.ring)-1-i] = cp
+	}
+	return out
+}
+
+// Get returns the capture with the given ID, or nil if it has been
+// evicted or never existed.
+func (c *Captor) Get(id int64) *Capture {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cp := range c.ring {
+		if cp.ID == id {
+			return cp
+		}
+	}
+	return nil
+}
+
+// Latest returns the most recent capture of the given kind, or nil.
+func (c *Captor) Latest(kind string) *Capture {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.ring) - 1; i >= 0; i-- {
+		if c.ring[i].Kind == kind {
+			return c.ring[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package prof
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+
+	"metaprobe/internal/leakcheck"
+	"metaprobe/internal/obs"
+)
+
+func TestCaptorHeapCaptureAndRing(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Config{Capacity: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		cp := c.CaptureHeap()
+		if cp == nil {
+			t.Fatal("heap capture failed")
+		}
+		if cp.Size == 0 || len(cp.Blob) == 0 {
+			t.Fatalf("capture %d has empty blob", cp.ID)
+		}
+		ids = append(ids, cp.ID)
+	}
+	list := c.List()
+	if len(list) != 3 {
+		t.Fatalf("ring should hold 3, got %d", len(list))
+	}
+	// Newest first.
+	if list[0].ID != ids[4] || list[2].ID != ids[2] {
+		t.Fatalf("unexpected ring order: %d..%d", list[0].ID, list[2].ID)
+	}
+	if got := c.Get(ids[0]); got != nil {
+		t.Fatalf("evicted capture %d still retrievable", ids[0])
+	}
+	if got := c.Latest(KindHeap); got == nil || got.ID != ids[4] {
+		t.Fatalf("Latest(heap) = %v, want id %d", got, ids[4])
+	}
+	// Delta meta appears from the second capture onward.
+	if list[0].Meta == nil {
+		t.Fatal("second+ heap capture should carry delta meta")
+	}
+	if _, ok := list[0].Meta["delta_alloc_bytes"]; !ok {
+		t.Fatalf("missing delta_alloc_bytes in %v", list[0].Meta)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `mp_prof_captures_total{kind="heap"} 5`) {
+		t.Fatalf("missing capture counter in exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "mp_prof_dropped_total 2") {
+		t.Fatalf("missing dropped counter in exposition:\n%s", out)
+	}
+}
+
+func TestCaptorCPUCapture(t *testing.T) {
+	c, err := New(Config{CPUDuration: 20 * time.Millisecond, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c.CaptureCPU(context.Background())
+	if cp == nil {
+		// Another CPU profile may be active (e.g. go test -cpuprofile);
+		// that is the documented conflict path, not a bug.
+		t.Skip("CPU profiling unavailable (already active?)")
+	}
+	if len(cp.Blob) == 0 {
+		t.Fatal("CPU capture has empty blob")
+	}
+	if cp.Kind != KindCPU {
+		t.Fatalf("kind = %q", cp.Kind)
+	}
+}
+
+func TestCaptorStartStopNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	reg := obs.NewRegistry()
+	c, err := New(Config{Interval: 20 * time.Millisecond, CPUDuration: 5 * time.Millisecond, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(context.Background())
+	time.Sleep(60 * time.Millisecond) // let at least one round run
+	c.Stop()
+	// Stop flushes a final heap capture, so the ring is never empty
+	// after a started captor shuts down.
+	if c.Latest(KindHeap) == nil {
+		t.Fatal("Stop should flush a final heap capture")
+	}
+	c.Stop() // idempotent
+}
+
+func TestCaptorNilSafe(t *testing.T) {
+	var c *Captor
+	c.Start(context.Background())
+	c.Stop()
+	if c.CaptureHeap() != nil || c.List() != nil || c.Get(1) != nil || c.Latest(KindHeap) != nil {
+		t.Fatal("nil captor should be inert")
+	}
+}
+
+func TestProfilesHandler(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c.CaptureHeap()
+	h := Handler(c)
+
+	// List view: JSON, no blobs.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list not JSON: %v", err)
+	}
+	if len(list) != 1 || list[0]["kind"] != "heap" {
+		t.Fatalf("unexpected list: %v", list)
+	}
+	if _, ok := list[0]["Blob"]; ok {
+		t.Fatal("blob leaked into list view")
+	}
+
+	// Blob fetch by id and by latest.
+	for _, url := range []string{"/debug/profiles?id=1", "/debug/profiles?latest=heap"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s status %d", url, rec.Code)
+		}
+		if rec.Body.Len() != cp.Size {
+			t.Fatalf("%s returned %d bytes, capture is %d", url, rec.Body.Len(), cp.Size)
+		}
+	}
+
+	// Error paths.
+	for url, want := range map[string]int{
+		"/debug/profiles?id=0":       400,
+		"/debug/profiles?id=x":       400,
+		"/debug/profiles?id=99":      404,
+		"/debug/profiles?latest=cpu": 404,
+		"/debug/profiles?latest=zz":  400,
+	} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != want {
+			t.Errorf("%s status %d, want %d", url, rec.Code, want)
+		}
+	}
+
+	// Nil captor serves an empty list.
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 200 || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("nil captor list: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestGoroutineDumpHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	GoroutineDumpHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/goroutines", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("dump does not look like a goroutine profile: %q", rec.Body.String()[:80])
+	}
+	rec = httptest.NewRecorder()
+	GoroutineDumpHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/goroutines?full=1", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine ") {
+		t.Fatalf("full dump: %d", rec.Code)
+	}
+}
+
+func TestSamplerPublishesRuntimeGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSampler(SamplerConfig{Metrics: reg})
+	s.Sample()
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"mp_runtime_heap_inuse_bytes",
+		"mp_runtime_goroutines",
+		"mp_runtime_gc_cycles_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s in exposition", name)
+		}
+	}
+	snap := s.Snapshot()
+	if snap["mp_runtime_goroutines"] < 1 {
+		t.Fatalf("goroutine count %v", snap["mp_runtime_goroutines"])
+	}
+	if snap["mp_runtime_heap_inuse_bytes"] <= 0 {
+		t.Fatalf("heap in use %v", snap["mp_runtime_heap_inuse_bytes"])
+	}
+	// GC pause quantiles resolve on every supported Go version (two
+	// candidate names cover the 1.22 rename).
+	if !strings.Contains(out, `mp_runtime_gc_pause_seconds{quantile="0.99"}`) {
+		t.Errorf("missing gc pause quantile series:\n%s", out)
+	}
+}
+
+func TestSamplerStartStopNoLeak(t *testing.T) {
+	leakcheck.Check(t)
+	s := NewSampler(SamplerConfig{Interval: 10 * time.Millisecond, Metrics: obs.NewRegistry()})
+	s.Start(context.Background())
+	time.Sleep(30 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	var nilS *Sampler
+	nilS.Sample()
+	nilS.Start(context.Background())
+	nilS.Stop()
+	if nilS.Snapshot() != nil {
+		t.Fatal("nil sampler snapshot should be nil")
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3, 4},
+	}
+	if q := histQuantile(h, 0.5); q != 3 {
+		t.Fatalf("p50 = %v, want 3", q)
+	}
+	if q := histQuantile(h, 0.99); q != 4 {
+		t.Fatalf("p99 = %v, want 4", q)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if q := histQuantile(empty, 0.5); q != 0 {
+		t.Fatalf("empty = %v", q)
+	}
+}

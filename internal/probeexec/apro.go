@@ -104,7 +104,9 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 
 	first := true
 	for {
+		mark := s.BeginStage()
 		set, cur := s.Best()
+		s.EndStage(mark, core.StageECorDP)
 		out.Set, out.Certainty = set, cur
 		if first {
 			out.Initial = cur
@@ -134,6 +136,7 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		// same policy. The tail (requires a Ranker) is only prefetched.
 		var cands []int
 		useful := make(map[int]float64)
+		mark = s.BeginStage()
 		if m == 1 || ranker == nil {
 			i, err := policy.Next(s, t)
 			if err != nil {
@@ -159,6 +162,7 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 			}
 			cands = dbs
 		}
+		s.EndStage(mark, core.StageRank)
 		if maxProbes >= 0 {
 			if remaining := maxProbes - out.Probes(); len(cands) > remaining {
 				cands = cands[:remaining]
@@ -177,8 +181,14 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 				}
 			}
 		}
+		// The probe stage here is the time this loop spends *blocked*
+		// on the probe it needs next — under speculation the wire time
+		// may be longer, but only the blocking tail delays the
+		// selection, and that is what a waterfall should show.
 		head := cands[0]
+		mark = s.BeginStage()
 		r := <-pending[head]
+		s.EndStage(mark, core.StageProbe)
 		delete(pending, head)
 		if r.err != nil {
 			if ctx.Err() != nil {
@@ -195,7 +205,9 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		} else {
 			s.ApplyProbe(head, r.v)
 		}
+		mark = s.BeginStage()
 		_, after := s.Best()
+		s.EndStage(mark, core.StageECorDP)
 		out.Steps = append(out.Steps, core.ProbeStep{
 			DB: head, Value: r.v, Err: r.err, Usefulness: useful[head], CertaintyAfter: after,
 		})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"metaprobe/internal/core"
+	"metaprobe/internal/leakcheck"
 	"metaprobe/internal/obs"
 	"metaprobe/internal/stats"
 )
@@ -83,6 +84,7 @@ func TestBreakerDisabled(t *testing.T) {
 }
 
 func TestPoolSaturation(t *testing.T) {
+	leakcheck.Check(t)
 	e := NewExecutor(Config{Limits: Limits{Global: 2}})
 	gate := make(chan struct{})
 	started := make(chan struct{}, 3)
@@ -122,6 +124,7 @@ func TestPoolSaturation(t *testing.T) {
 }
 
 func TestPoolAcquireHonorsContext(t *testing.T) {
+	leakcheck.Check(t)
 	e := NewExecutor(Config{Limits: Limits{Global: 1}})
 	gate := make(chan struct{})
 	defer close(gate)

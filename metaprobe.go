@@ -574,11 +574,15 @@ func (m *Metasearcher) SelectBaseline(query string, k int) []string {
 // RD-based method), along with that expected correctness.
 func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, float64, error) {
 	start := m.obsNow()
-	sel, err := m.selection(query, metric, k)
+	rec := m.stageRecorder()
+	sel, err := m.selection(query, metric, k, rec)
 	if err != nil {
 		return nil, 0, err
 	}
+	mark := sel.BeginStage()
 	set, e := sel.Best()
+	sel.EndStage(mark, core.StageECorDP)
+	m.flushStages(rec, nil)
 	m.recordSLO(start, true)
 	m.observe(m.nextSelectionID(), "", query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
 	return m.names(set), e, nil
@@ -637,7 +641,8 @@ func (m *Metasearcher) SelectWithPolicy(query string, k int, metric Metric, t fl
 
 func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
 	start := m.obsNow()
-	sel, err := m.selection(query, metric, k)
+	rec := m.stageRecorder()
+	sel, err := m.selection(query, metric, k, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -656,6 +661,7 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 		m.recordSLO(start, false)
 		return nil, fmt.Errorf("metaprobe: %w", err)
 	}
+	m.flushStages(rec, nil)
 	m.recordSLO(start, true)
 	id := m.nextSelectionID()
 	m.observe(id, "", query, metric, t, sel, out, start)
@@ -724,19 +730,25 @@ func (m *Metasearcher) SelectWithPolicyContext(ctx context.Context, query string
 
 func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
 	start := m.obsNow()
-	sel, err := m.selection(query, metric, k)
-	if err != nil {
-		return nil, err
-	}
 	// Root span and cost account. The span tree nests every probe,
 	// attempt and middleware event below "selection"; the cost account
 	// rides the context so attempts charge it from whatever goroutine
-	// they land on. Both are nil-safe no-ops when unconfigured.
+	// they land on. Both are nil-safe no-ops when unconfigured. The
+	// span opens before the selection state is built so the
+	// rd_convolve stage — deriving every database's RD — is inside the
+	// root span's window, and the per-stage totals attached as events
+	// sum to ≈ the span's duration.
 	ctx, sp := m.cfg.Spans.Start(ctx, "selection")
 	sp.SetAttr("query", query)
 	sp.SetAttr("k", strconv.Itoa(k))
 	sp.SetAttr("metric", metric.String())
 	sp.SetAttr("threshold", strconv.FormatFloat(t, 'g', -1, 64))
+	rec := m.stageRecorder()
+	sel, err := m.selection(query, metric, k, rec)
+	if err != nil {
+		sp.EndErr(err)
+		return nil, err
+	}
 	var acct *obs.CostAccount
 	if m.cfg.Metrics != nil || m.cfg.Spans != nil || m.cfg.SLO != nil {
 		acct = obs.NewCostAccount()
@@ -770,6 +782,7 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	if res.Degraded {
 		sp.SetAttr("degraded", "true")
 	}
+	m.flushStages(rec, sp)
 	sp.End()
 	m.recordSLO(start, true)
 	m.observe(id, sp.Trace(), query, metric, t, sel, res.Outcome, start)
@@ -863,6 +876,8 @@ func registerSelectionMetrics(reg *Metrics, tb *hidden.Testbed) {
 	reg.Help("mp_selection_cost_hedges_wasted_total", "Hedged attempts that lost their race, by query term count.")
 	reg.Help("mp_selection_cost_cache_hits_total", "Probe searches answered from the result cache, by query term count.")
 	reg.Help("mp_selection_cost_wall_seconds", "Cumulative backend wall time per selection, by query term count.")
+	reg.Help("mp_selection_stage_seconds", "Per-selection wall time spent in one hot-path stage (rd_convolve, ecor_dp, rank, probe).")
+	reg.Help("mp_selection_stage_allocs", "Per-selection heap objects allocated while one hot-path stage ran (process-wide counter; exact only without concurrent selections).")
 	reg.Histogram("metaprobe_select_latency_seconds", nil)
 	reg.Histogram("metaprobe_selection_certainty", nil)
 	for _, reached := range []string{"true", "false"} {
@@ -1029,7 +1044,12 @@ func (m *Metasearcher) fuse(ctx context.Context, query string, selRes *Selection
 }
 
 // selection builds the per-query state, requiring a trained model.
-func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Selection, error) {
+// With a non-nil stage recorder the RD-convolution work (NewSelection:
+// estimate, classify, convolve every database's ED) is charged to the
+// rd_convolve stage — including any wait on modelMu, which is real
+// serving latency — and the recorder is attached to the selection so
+// the APro loops report the remaining stages to it.
+func (m *Metasearcher) selection(query string, metric Metric, k int, rec *obs.StageRecorder) (*core.Selection, error) {
 	if !m.Trained() {
 		return nil, fmt.Errorf("metaprobe: model not trained; call Train first or use SelectBaseline")
 	}
@@ -1037,6 +1057,11 @@ func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Sele
 		return nil, fmt.Errorf("metaprobe: k=%d outside [1, %d]", k, m.tb.Len())
 	}
 	numTerms := len(strings.Fields(query))
+	var stageStart time.Time
+	var stageAllocs uint64
+	if rec != nil {
+		stageStart, stageAllocs = time.Now(), core.ReadHeapAllocs()
+	}
 	// NewSelection reads the ED histograms that online refinement
 	// mutates; the lock makes selection building safe against probe
 	// feedback from concurrent selections and against a refresh swap
@@ -1045,7 +1070,48 @@ func (m *Metasearcher) selection(query string, metric Metric, k int) (*core.Sele
 	m.modelMu.Lock()
 	sel := m.serving().NewSelection(query, numTerms, metric, k)
 	m.modelMu.Unlock()
+	if rec != nil {
+		rec.Observe(core.StageRDConvolve, time.Since(stageStart).Seconds(), core.ReadHeapAllocs()-stageAllocs)
+		sel.WithStageObserver(rec.Observe)
+	}
 	return sel.WithBestSetOptions(m.cfg.BestSet), nil
+}
+
+// stageRecorder returns a fresh per-selection stage recorder, or nil
+// when neither metrics nor span tracing is configured — the nil
+// keeps the disabled hot path at a single pointer comparison per
+// stage boundary (see core.Selection.BeginStage).
+func (m *Metasearcher) stageRecorder() *obs.StageRecorder {
+	if m.cfg.Metrics == nil && m.cfg.Spans == nil {
+		return nil
+	}
+	return obs.NewStageRecorder()
+}
+
+// flushStages publishes one finished selection's stage totals: a
+// per-stage observation into the mp_selection_stage_* histograms and
+// one "stage" event per stage on the root span (added before End, so
+// the events land in the recorded tree). Nil recorder or span are
+// no-ops.
+func (m *Metasearcher) flushStages(rec *obs.StageRecorder, sp *span.Span) {
+	if rec == nil {
+		return
+	}
+	totals := rec.Totals()
+	reg := m.cfg.Metrics
+	for _, stage := range rec.Stages() {
+		t := totals[stage]
+		if reg != nil {
+			lbl := obs.Labels{"stage": stage}
+			reg.Histogram("mp_selection_stage_seconds", lbl).Observe(t.Seconds)
+			reg.Histogram("mp_selection_stage_allocs", lbl).Observe(float64(t.Allocs))
+		}
+		sp.AddEvent("stage",
+			"stage", stage,
+			"seconds", strconv.FormatFloat(t.Seconds, 'g', 6, 64),
+			"allocs", strconv.FormatUint(t.Allocs, 10),
+			"count", strconv.FormatInt(t.Count, 10))
+	}
 }
 
 // names maps database indices to names.
@@ -1092,7 +1158,7 @@ type Explanation struct {
 // estimate, the error-corrected expected relevancy, and the membership
 // probability that drives selection. Requires a trained model.
 func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
-	sel, err := m.selection(query, Absolute, k)
+	sel, err := m.selection(query, Absolute, k, nil)
 	if err != nil {
 		return nil, err
 	}

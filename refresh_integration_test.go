@@ -10,6 +10,7 @@ import (
 	"metaprobe/internal/core"
 	"metaprobe/internal/corpus"
 	"metaprobe/internal/hidden"
+	"metaprobe/internal/leakcheck"
 	"metaprobe/internal/queries"
 	"metaprobe/internal/stats"
 	"metaprobe/internal/textindex"
@@ -24,6 +25,9 @@ import (
 // holdout, and hot-swaps a successor model — all while concurrent
 // selections keep running with zero failures (run under -race).
 func TestRefreshEndToEnd(t *testing.T) {
+	// The refresher spawns a background retraining goroutine per alert
+	// burst; none may outlive the metasearcher's Close.
+	leakcheck.Check(t)
 	world := corpus.HealthWorld()
 	specs := corpus.HealthTestbed(0.01)[:6]
 	tb, err := hidden.BuildTestbed(world, specs, 23)
