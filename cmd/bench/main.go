@@ -13,12 +13,17 @@
 //	    [-scale 0.02] [-queries 200] [-k 3] [-t 0.9] [-seed 2004]
 //	go run ./cmd/bench -smoke -label ci    # CI-sized run, health preset only
 //
-// Each preset runs seven selection tiers over one workload: baseline
+// Each preset runs nine selection tiers over one workload: baseline
 // (term-independence top-k), rd (probabilistic, no probing), apro
 // (adaptive probing to the certainty threshold), two context-aware
 // tiers on a latency-injected copy of the testbed — apro-ctx-m1
 // (sequential, through the probe-execution engine) and apro-ctx-m2
-// (speculation 2, two candidates probed concurrently per round) — and
+// (speculation 2, two candidates probed concurrently per round) — two
+// service tiers that measure the metaprobed daemon path (service:
+// waves of identical concurrent requests through the batch coalescer
+// at idle limits, answers asserted identical to the direct engine;
+// service-overload: the same traffic under starved admission limits,
+// recording shed counts by reason and availability), and
 // two drift tiers that grow one database ~20× mid-run and measure
 // RD-based selection against a rebuilt golden standard, first with the
 // stale model served as-is (drift-stale), then after the online
@@ -119,6 +124,26 @@ type workloadResult struct {
 	// Stages breaks the tier's selection time down by hot-path stage
 	// (context tiers only), from the mp_selection_stage_* histograms.
 	Stages map[string]stageSummary `json:"stages,omitempty"`
+	// CoalesceRatio is requests per probe trajectory on the daemon path
+	// (service tiers only): > 1 means the batch coalescer merged
+	// concurrent identical requests.
+	CoalesceRatio float64 `json:"coalesce_ratio,omitempty"`
+	// MeanFanout is the average number of requests served per
+	// trajectory, as reported on each response (service tiers only).
+	MeanFanout float64 `json:"mean_fanout,omitempty"`
+	// TierCounts counts answered requests by serving tier — full,
+	// rd_only, rhat_only (service tiers only).
+	TierCounts map[string]int64 `json:"tier_counts,omitempty"`
+	// ShedCounts counts degraded requests by shed reason — overload,
+	// tenant_rate (service tiers only; the idle tier must be empty).
+	ShedCounts map[string]int64 `json:"shed_counts,omitempty"`
+	// Availability is answered/requests (service tiers only). Shedding
+	// degrades the tier but still answers, so this must stay 1.0 even
+	// on the overload tier.
+	Availability float64 `json:"availability,omitempty"`
+	// MatchesDirect reports whether every full-tier daemon answer was
+	// identical to the direct engine's (idle service tier only).
+	MatchesDirect *bool `json:"matches_direct,omitempty"`
 }
 
 // stageSummary is one hot-path stage's aggregate over a tier.
@@ -390,6 +415,11 @@ func runPreset(preset string, cfg benchConfig, log *slog.Logger) ([]workloadResu
 		return nil, err
 	}
 	out = append(out, ctxResults...)
+	svcResults, err := runServiceTiers(preset, cfg, env, log)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, svcResults...)
 	// The drift tiers mutate the testbed in place, so they must run
 	// after every other tier.
 	driftResults, err := runDriftTiers(preset, cfg, env, log)

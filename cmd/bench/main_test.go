@@ -33,8 +33,8 @@ func TestSmokeRun(t *testing.T) {
 	if rep.Label != "smoketest" || !rep.Smoke {
 		t.Errorf("report header = label %q smoke %v, want smoketest/true", rep.Label, rep.Smoke)
 	}
-	if len(rep.Workloads) != 7 {
-		t.Fatalf("got %d workloads, want 7 (baseline, rd, apro, apro-ctx-m1, apro-ctx-m2, drift-stale, drift-refreshed)", len(rep.Workloads))
+	if len(rep.Workloads) != 9 {
+		t.Fatalf("got %d workloads, want 9 (baseline, rd, apro, apro-ctx-m1, apro-ctx-m2, service, service-overload, drift-stale, drift-refreshed)", len(rep.Workloads))
 	}
 	names := map[string]workloadResult{}
 	for _, w := range rep.Workloads {
@@ -53,7 +53,7 @@ func TestSmokeRun(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"baseline", "rd", "apro", "apro-ctx-m1", "apro-ctx-m2",
-		"drift-stale", "drift-refreshed"} {
+		"service", "service-overload", "drift-stale", "drift-refreshed"} {
 		if _, ok := names[want]; !ok {
 			t.Fatalf("missing workload %q", want)
 		}
@@ -101,6 +101,34 @@ func TestSmokeRun(t *testing.T) {
 	}
 	if names["apro-ctx-m2"].InflightP99 < 1 {
 		t.Errorf("apro-ctx-m2 probe_inflight_p99 = %v, want ≥ 1", names["apro-ctx-m2"].InflightP99)
+	}
+	// The service tiers measure the daemon path. At idle limits every
+	// request must be answered at full tier with answers identical to
+	// the direct engine, and the wave-shaped workload must coalesce.
+	svc, over := names["service"], names["service-overload"]
+	if svc.CoalesceRatio <= 1 {
+		t.Errorf("service coalesce_ratio = %v, want > 1", svc.CoalesceRatio)
+	}
+	if svc.MatchesDirect == nil || !*svc.MatchesDirect {
+		t.Error("service tier answers were not verified identical to the direct engine")
+	}
+	if len(svc.ShedCounts) != 0 || svc.Availability != 1.0 {
+		t.Errorf("service tier shed at idle: sheds=%v availability=%v", svc.ShedCounts, svc.Availability)
+	}
+	if svc.TierCounts["full"] == 0 || len(svc.TierCounts) != 1 {
+		t.Errorf("service tier counts = %v, want all full", svc.TierCounts)
+	}
+	// Under starved admission limits most requests are shed — but every
+	// one of them is still answered.
+	var shed int64
+	for _, n := range over.ShedCounts {
+		shed += n
+	}
+	if shed == 0 {
+		t.Error("service-overload tier shed nothing under starved limits")
+	}
+	if over.Availability != 1.0 {
+		t.Errorf("service-overload availability = %v, want 1.0", over.Availability)
 	}
 	// The drift tiers close the loop: staleness must cost correctness
 	// against the post-drift golden standard relative to the pre-drift

@@ -1,0 +1,267 @@
+// Service tiers: measure the metaprobed daemon path — batching,
+// admission, and load shedding — against the same workload and golden
+// standard as the direct tiers.
+//
+// Two tiers are produced:
+//
+//   - "service": an in-process server at idle limits. Every query is
+//     fired as a wave of identical concurrent requests, so the batch
+//     coalescer has mergeable work. Records the coalesce ratio
+//     (requests per probe trajectory), mean fan-out, per-request
+//     latency quantiles, and whether the served answers are identical
+//     to the direct engine (they must be: the daemon adds transport
+//     and batching, not approximation).
+//
+//   - "service-overload": the same engine behind deliberately tiny
+//     admission limits (inflight caps plus a near-zero tenant rate).
+//     Most requests are shed to degraded tiers, but every one of them
+//     still gets an answer — the tier records shed counts by reason
+//     and availability, which CI asserts stays at 100%.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"metaprobe"
+	"metaprobe/internal/eval"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/obs"
+	"metaprobe/internal/server"
+)
+
+// serviceRepeat is the wave width: identical concurrent requests per
+// workload query. The coalescer should merge most of each wave.
+const serviceRepeat = 4
+
+// runServiceTiers measures the daemon path on a latency-injected view
+// of the testbed. Must run before the drift tiers (which mutate the
+// testbed in place).
+func runServiceTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.Logger) ([]workloadResult, error) {
+	tmp, err := os.CreateTemp("", "metaprobe-bench-service-model-*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	if err := env.ms.SaveModel(tmp.Name()); err != nil {
+		return nil, err
+	}
+	dbs := make([]metaprobe.Database, env.tb.Len())
+	for i := range dbs {
+		dbs[i] = hidden.NewLatency(env.tb.DB(i), cfg.probeDelay)
+	}
+	reg := metaprobe.NewMetrics()
+	ms, err := metaprobe.NewFromModel(dbs, tmp.Name(), &metaprobe.Config{Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	senv := &presetEnv{ms: ms, tb: env.tb, workload: env.workload, golden: env.golden}
+
+	log.Info("running workload", "preset", preset, "tier", "service",
+		"queries", len(env.workload), "repeat", serviceRepeat, "probe_delay", cfg.probeDelay)
+	idle, err := measureService(preset, "service", cfg, senv, reg, server.Config{Metrics: reg}, log)
+	if err != nil {
+		return nil, err
+	}
+	// The daemon must not change answers: replay the workload through
+	// the engine directly and require set-and-certainty equality.
+	match, err := serviceMatchesDirect(cfg, senv, idle.answers)
+	if err != nil {
+		return nil, err
+	}
+	idle.result.MatchesDirect = &match
+	if !match {
+		return nil, fmt.Errorf("service tier answers diverge from the direct engine")
+	}
+
+	overReg := metaprobe.NewMetrics()
+	overCfg := server.Config{
+		Metrics:      overReg,
+		SoftInflight: 1,
+		HardInflight: 2,
+		TenantRate:   0.001,
+		TenantBurst:  1,
+	}
+	log.Info("running workload", "preset", preset, "tier", "service-overload",
+		"queries", len(env.workload), "repeat", serviceRepeat)
+	over, err := measureService(preset, "service-overload", cfg, senv, overReg, overCfg, log)
+	if err != nil {
+		return nil, err
+	}
+	if shedTotal(over.result.ShedCounts) == 0 {
+		return nil, fmt.Errorf("service-overload tier shed nothing under starved limits")
+	}
+	if over.result.Availability != 1.0 {
+		return nil, fmt.Errorf("service-overload availability %.4f, want 1.0 (shedding must degrade, not drop)",
+			over.result.Availability)
+	}
+	return []workloadResult{idle.result, over.result}, nil
+}
+
+// serviceRun is one service tier's measurement plus the per-query
+// leader answers kept for the direct-equality check.
+type serviceRun struct {
+	result  workloadResult
+	answers []*server.SelectResponse
+}
+
+// measureService boots a server over senv.ms with the given config and
+// drives the workload in waves of serviceRepeat identical concurrent
+// requests. Every response within a wave must be identical — the
+// coalescer's fan-out contract — and every request must be answered.
+func measureService(preset, name string, cfg benchConfig, senv *presetEnv, reg *metaprobe.Metrics, scfg server.Config, log *slog.Logger) (serviceRun, error) {
+	srv := server.New(scfg)
+	defer srv.Close()
+	if err := srv.AddTenant(server.DefaultTenant, senv.ms); err != nil {
+		return serviceRun{}, err
+	}
+	hist := obs.NewHistogram()
+	cal := obs.NewCalibration(0)
+	res := workloadResult{Preset: preset, Name: name, Queries: len(senv.workload)}
+	res.TierCounts = make(map[string]int64)
+	res.ShedCounts = make(map[string]int64)
+	answers := make([]*server.SelectResponse, len(senv.workload))
+	var probes, corA, corP, reached float64
+	var requests, answered, coalesced int64
+	var fanoutSum float64
+	for qi, q := range senv.workload {
+		req := server.SelectRequest{
+			Query:     q.String(),
+			K:         cfg.k,
+			Threshold: cfg.t,
+		}
+		wave := make([]*server.SelectResponse, serviceRepeat)
+		errs := make([]error, serviceRepeat)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < serviceRepeat; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				t0 := time.Now()
+				wave[i], errs[i] = srv.Do(context.Background(), req)
+				hist.Observe(time.Since(t0).Seconds())
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		for i := 0; i < serviceRepeat; i++ {
+			requests++
+			if errs[i] != nil {
+				return serviceRun{}, fmt.Errorf("%s: query %d request %d: %w", name, qi, i, errs[i])
+			}
+			r := wave[i]
+			answered++
+			res.TierCounts[r.Tier]++
+			if r.ShedReason != "" {
+				res.ShedCounts[r.ShedReason]++
+			}
+			if r.Coalesced {
+				coalesced++
+			}
+			fanoutSum += float64(r.Fanout)
+		}
+		// Waiters joined to one trajectory must all see the same answer.
+		for i := 1; i < serviceRepeat; i++ {
+			if wave[i].Tier == wave[0].Tier && !sameAnswer(wave[i], wave[0]) {
+				return serviceRun{}, fmt.Errorf("%s: query %d: same-tier wave answers diverge", name, qi)
+			}
+		}
+		lead := wave[0]
+		answers[qi] = lead
+		set := senv.indices(lead.Databases)
+		topk := senv.golden[qi].TopK(cfg.k)
+		ca, cp := eval.CorA(set, topk), eval.CorP(set, topk)
+		corA += ca
+		corP += cp
+		probes += float64(lead.Probes)
+		if lead.Reached {
+			reached++
+		}
+		cal.Observe(lead.Certainty, ca)
+	}
+	n := float64(len(senv.workload))
+	qs := hist.Quantiles(0.50, 0.90, 0.99)
+	res.LatencyMs = latencySummary{
+		P50:  qs[0] * 1000,
+		P90:  qs[1] * 1000,
+		P99:  qs[2] * 1000,
+		Mean: hist.Sum() / float64(requests) * 1000,
+	}
+	res.ProbesPerQuery = probes / n
+	res.AvgCorA = corA / n
+	res.AvgCorP = corP / n
+	res.ReachedFrac = reached / n
+	snap := cal.Snapshot()
+	res.Calibration = &snap
+	runs := reg.Counter("mp_batch_runs_total", obs.Labels{"tenant": server.DefaultTenant}).Value()
+	if runs > 0 {
+		res.CoalesceRatio = float64(requests) / float64(runs)
+	}
+	if answered > 0 {
+		res.MeanFanout = fanoutSum / float64(answered)
+		res.Availability = float64(answered) / float64(requests)
+	}
+	st := srv.Stats()
+	log.Info("service tier done", "tier", name,
+		"requests", requests, "runs", runs, "coalesced", coalesced,
+		"coalesce_ratio", res.CoalesceRatio,
+		"tiers", res.TierCounts, "sheds", res.ShedCounts,
+		"peak_inflight", st.PeakInflight)
+	return serviceRun{result: res, answers: answers}, nil
+}
+
+// serviceMatchesDirect replays the workload through the engine without
+// the daemon and reports whether every full-tier service answer is
+// identical (database set, certainty, probe count). Degraded answers
+// are skipped: they intentionally diverge.
+func serviceMatchesDirect(cfg benchConfig, senv *presetEnv, answers []*server.SelectResponse) (bool, error) {
+	for qi, q := range senv.workload {
+		a := answers[qi]
+		if a == nil || a.Tier != "full" {
+			continue
+		}
+		res, err := senv.ms.SelectWithCertaintyContext(context.Background(), q.String(), cfg.k, metaprobe.Absolute, cfg.t, -1)
+		if err != nil {
+			return false, err
+		}
+		if a.Certainty != res.Certainty || a.Probes != res.Probes ||
+			len(a.Databases) != len(res.Databases) {
+			return false, nil
+		}
+		for i := range a.Databases {
+			if a.Databases[i] != res.Databases[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// sameAnswer reports whether two responses carry the same selection.
+func sameAnswer(a, b *server.SelectResponse) bool {
+	if a.Certainty != b.Certainty || a.Probes != b.Probes || len(a.Databases) != len(b.Databases) {
+		return false
+	}
+	for i := range a.Databases {
+		if a.Databases[i] != b.Databases[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shedTotal sums shed counts across reasons.
+func shedTotal(sheds map[string]int64) int64 {
+	var n int64
+	for _, v := range sheds {
+		n += v
+	}
+	return n
+}

@@ -17,12 +17,21 @@
 // /debug/spans, /debug/slo, /healthz and /readyz — so the recorded
 // traces and burn rates can be inspected.
 //
+// With -target the same workload is replayed against a running
+// metaprobed daemon instead of the in-process library: each query
+// becomes a wave of -repeat concurrent identical requests (the batch
+// coalescer's unit of mergeable work), and the report adds tier
+// distribution, shed counts, and coalesce statistics. -fail-on-shed
+// turns "no shedding at idle load" into an exit code for CI.
+//
 // Usage:
 //
 //	go run ./cmd/loadtest [-queries 400] [-concurrency 4]
 //	    [-latency 5ms] [-k 3] [-t 0.9] [-scale 0.02] [-v]
 //	    [-speculation 2] [-deadline 2s] [-max-inflight 16]
 //	    [-trace] [-serve :8091]
+//	go run ./cmd/loadtest -target http://localhost:8091 [-tenant acme]
+//	    [-repeat 8] [-fail-on-shed]
 package main
 
 import (
@@ -129,6 +138,11 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "global cap on concurrent probes (0 = executor default; >0 enables the context path)")
 	flag.BoolVar(&cfg.trace, "trace", false, "record a span tree per selection (enables the context path)")
 	flag.StringVar(&cfg.serve, "serve", "", "after the replay, serve /metrics /debug/spans /debug/slo on this address")
+	var rc remoteConfig
+	flag.StringVar(&rc.target, "target", "", "base URL of a running metaprobed (remote mode; empty drives the in-process library)")
+	flag.StringVar(&rc.tenant, "tenant", "", "tenant to address in remote mode (empty: the daemon default)")
+	flag.IntVar(&rc.repeat, "repeat", 1, "concurrent identical requests per query in remote mode (>1 exercises the batch coalescer)")
+	flag.BoolVar(&rc.failOnShed, "fail-on-shed", false, "remote mode: exit non-zero if any response was served below full tier")
 	verbose := flag.Bool("v", false, "log every selection (with its correlation ID) at debug level")
 	flag.Parse()
 
@@ -137,6 +151,23 @@ func main() {
 		level = slog.LevelDebug
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	if rc.target != "" {
+		rep, err := runRemote(cfg, rc, logger)
+		if err != nil {
+			logger.Error(err.Error())
+			os.Exit(1)
+		}
+		printRemoteReport(os.Stdout, cfg, rc, rep)
+		if rep.failures > 0 {
+			logger.Error("remote run had failed requests", "failures", rep.failures)
+			os.Exit(1)
+		}
+		if rc.failOnShed && rep.shedCount() > 0 {
+			logger.Error("responses were shed below full tier", "shed", rep.shedCount())
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := runLoadTest(cfg, logger)
 	if err != nil {
 		logger.Error(err.Error())

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/server"
+	"metaprobe/internal/stats"
+)
+
+// remoteConfig parameterizes a run against a metaprobed daemon instead
+// of the in-process library.
+type remoteConfig struct {
+	target string
+	tenant string
+	// repeat fires this many concurrent identical requests per workload
+	// query (a "wave"), so the daemon's batch coalescer has something to
+	// merge. 1 disables batching.
+	repeat int
+	// failOnShed exits non-zero if any response was served below full
+	// tier — the CI smoke run's "no shedding at idle" assertion.
+	failOnShed bool
+}
+
+// remoteReport summarizes a remote run. Latency percentiles come from
+// the same obs histogram estimator the in-process mode uses.
+type remoteReport struct {
+	requests int
+	waves    int
+	wall     time.Duration
+	p50, p90 time.Duration
+	p99      time.Duration
+	// tiers counts responses by served tier, sheds by shed reason.
+	tiers map[string]int
+	sheds map[string]int
+	// coalesced counts responses that rode a shared run; meanFanout is
+	// the average waiters-per-run over all responses; coalesceRatio is
+	// requests per underlying run (1.0 = no batching).
+	coalesced     int
+	meanFanout    float64
+	coalesceRatio float64
+	// availability is answered requests / sent requests. Degraded
+	// (shed) answers count as available — that is the point.
+	availability float64
+	failures     int
+}
+
+// runRemote replays the workload against a running metaprobed. The
+// workload is the same generated pool the in-process mode uses, so
+// numbers are comparable; no local testbed or training is needed.
+func runRemote(cfg loadConfig, rc remoteConfig, log *slog.Logger) (remoteReport, error) {
+	base := strings.TrimRight(rc.target, "/")
+	if rc.repeat < 1 {
+		rc.repeat = 1
+	}
+	gen, err := queries.NewGenerator(corpus.HealthWorld(), queries.Config{})
+	if err != nil {
+		return remoteReport{}, err
+	}
+	half := (cfg.numQueries + 1) / 2
+	workload, err := gen.Pool(stats.NewRNG(cfg.seed).Fork(2), half, cfg.numQueries-half)
+	if err != nil {
+		return remoteReport{}, err
+	}
+
+	reg := metaprobe.NewMetrics()
+	latencyHist := reg.Histogram("loadtest_remote_latency_seconds", nil)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	log.Info("replaying workload against daemon",
+		"target", base, "waves", len(workload), "repeat", rc.repeat, "concurrency", cfg.concurrency)
+
+	rep := remoteReport{tiers: map[string]int{}, sheds: map[string]int{}}
+	var mu sync.Mutex
+	var fanoutSum int64
+	var runs int
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range jobs {
+				// One wave: repeat concurrent identical requests, the
+				// daemon-side coalescer's unit of mergeable work.
+				var waveWG sync.WaitGroup
+				for r := 0; r < rc.repeat; r++ {
+					waveWG.Add(1)
+					go func() {
+						defer waveWG.Done()
+						qStart := time.Now()
+						resp, err := postSelect(client, base, server.SelectRequest{
+							Tenant:    rc.tenant,
+							Query:     workload[qi].String(),
+							K:         cfg.k,
+							Threshold: cfg.t,
+						})
+						elapsed := time.Since(qStart)
+						mu.Lock()
+						defer mu.Unlock()
+						if err != nil {
+							rep.failures++
+							log.Debug("request failed", "query", workload[qi].String(), "err", err)
+							return
+						}
+						latencyHist.Observe(elapsed.Seconds())
+						rep.tiers[resp.Tier]++
+						if resp.ShedReason != "" {
+							rep.sheds[resp.ShedReason]++
+						}
+						if resp.Coalesced {
+							rep.coalesced++
+						} else {
+							runs++
+						}
+						fanoutSum += resp.Fanout
+					}()
+				}
+				waveWG.Wait()
+			}
+		}()
+	}
+	for qi := range workload {
+		jobs <- qi
+	}
+	close(jobs)
+	wg.Wait()
+	rep.wall = time.Since(start)
+	rep.waves = len(workload)
+	rep.requests = len(workload) * rc.repeat
+
+	answered := rep.requests - rep.failures
+	rep.availability = float64(answered) / float64(rep.requests)
+	if answered > 0 {
+		rep.meanFanout = float64(fanoutSum) / float64(answered)
+	}
+	if runs > 0 {
+		rep.coalesceRatio = float64(answered) / float64(runs)
+	}
+	qs := latencyHist.Quantiles(0.50, 0.90, 0.99)
+	rep.p50 = time.Duration(qs[0] * float64(time.Second))
+	rep.p90 = time.Duration(qs[1] * float64(time.Second))
+	rep.p99 = time.Duration(qs[2] * float64(time.Second))
+	return rep, nil
+}
+
+// postSelect issues one /v1/select call and decodes the answer.
+func postSelect(client *http.Client, base string, req server.SelectRequest) (*server.SelectResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("select: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var out server.SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// printRemoteReport renders the remote run.
+func printRemoteReport(w *os.File, cfg loadConfig, rc remoteConfig, rep remoteReport) {
+	fmt.Fprintf(w, "\ntarget           %s (tenant %q)\n", rc.target, rc.tenant)
+	fmt.Fprintf(w, "requests         %d (%d waves x %d, k=%d, t=%.2f, concurrency %d)\n",
+		rep.requests, rep.waves, rc.repeat, cfg.k, cfg.t, cfg.concurrency)
+	fmt.Fprintf(w, "wall time        %v (%.1f rps)\n", rep.wall.Round(time.Millisecond),
+		float64(rep.requests)/rep.wall.Seconds())
+	fmt.Fprintf(w, "latency p50      %v\n", rep.p50.Round(time.Microsecond))
+	fmt.Fprintf(w, "latency p90      %v\n", rep.p90.Round(time.Microsecond))
+	fmt.Fprintf(w, "latency p99      %v\n", rep.p99.Round(time.Microsecond))
+	fmt.Fprintf(w, "availability     %.1f%% (%d failures)\n", rep.availability*100, rep.failures)
+	fmt.Fprintf(w, "coalesced        %d of %d (ratio %.2f, mean fanout %.2f)\n",
+		rep.coalesced, rep.requests, rep.coalesceRatio, rep.meanFanout)
+	for _, tier := range sortedKeys(rep.tiers) {
+		fmt.Fprintf(w, "tier %-12s %d\n", tier, rep.tiers[tier])
+	}
+	for _, reason := range sortedKeys(rep.sheds) {
+		fmt.Fprintf(w, "shed %-12s %d\n", reason, rep.sheds[reason])
+	}
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shedCount totals degraded responses.
+func (r remoteReport) shedCount() int {
+	n := 0
+	for _, c := range r.sheds {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+
+	"metaprobe"
+	"metaprobe/internal/corpus"
+	"metaprobe/internal/hidden"
+	"metaprobe/internal/queries"
+	"metaprobe/internal/server"
+	"metaprobe/internal/stats"
+)
+
+// TestRunRemote drives the remote mode end to end against an
+// in-process metaprobed core behind a real HTTP listener.
+func TestRunRemote(t *testing.T) {
+	world := corpus.HealthWorld()
+	tb, err := hidden.BuildTestbed(world, corpus.HealthTestbed(0.005), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs := make([]metaprobe.Database, tb.Len())
+	for i := range dbs {
+		dbs[i] = tb.DB(i)
+	}
+	sums, err := metaprobe.ExactSummaries(dbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := metaprobe.New(dbs, sums, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := queries.NewGenerator(world, queries.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := gen.Pool(stats.NewRNG(7).Fork(1), 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := make([]string, len(pool))
+	for i, q := range pool {
+		train[i] = q.String()
+	}
+	if err := ms.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{})
+	if err := srv.AddTenant(server.DefaultTenant, ms); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := loadConfig{seed: 7, numQueries: 12, concurrency: 2, k: 1, t: 0.8}
+	rc := remoteConfig{target: ts.URL, repeat: 3}
+	rep, err := runRemote(cfg, rc, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.requests != 12*3 || rep.waves != 12 {
+		t.Errorf("requests=%d waves=%d, want 36/12", rep.requests, rep.waves)
+	}
+	if rep.failures != 0 || rep.availability != 1.0 {
+		t.Errorf("availability %.3f with %d failures, want 100%%/0", rep.availability, rep.failures)
+	}
+	if rep.tiers["full"] != rep.requests {
+		t.Errorf("tiers = %v, want all %d full at idle load", rep.tiers, rep.requests)
+	}
+	if rep.shedCount() != 0 {
+		t.Errorf("sheds = %v at idle load", rep.sheds)
+	}
+	if rep.p50 <= 0 || rep.p99 < rep.p50 {
+		t.Errorf("percentiles out of order: %v %v", rep.p50, rep.p99)
+	}
+
+	// An unknown tenant fails every request and reports zero
+	// availability rather than erroring the run.
+	rc.tenant = "nobody"
+	rep, err = runRemote(cfg, rc, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failures != rep.requests || rep.availability != 0 {
+		t.Errorf("unknown tenant: failures=%d availability=%.3f, want all failed", rep.failures, rep.availability)
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"metaprobe/internal/obs"
+)
+
+// TestAdmissionTierTransitions walks the inflight gauge through the
+// full → rd_only → rhat_only ladder by holding tickets open.
+func TestAdmissionTierTransitions(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(2, 4, reg)
+	bucket := newTokenBucket(0, 0) // unmetered
+
+	want := []struct {
+		tier   Tier
+		reason string
+	}{
+		{TierFull, ""},
+		{TierFull, ""},
+		{TierRDOnly, shedOverload},
+		{TierRDOnly, shedOverload},
+		{TierRhatOnly, shedOverload},
+		{TierRhatOnly, shedOverload},
+	}
+	for i, w := range want {
+		tier, reason := a.acquire(bucket)
+		if tier != w.tier || reason != w.reason {
+			t.Fatalf("request %d: got (%v, %q), want (%v, %q)", i+1, tier, reason, w.tier, w.reason)
+		}
+	}
+	if got := a.Inflight(); got != int64(len(want)) {
+		t.Errorf("inflight %d, want %d", got, len(want))
+	}
+	if got := a.Peak(); got != int64(len(want)) {
+		t.Errorf("peak %d, want %d", got, len(want))
+	}
+
+	// Releasing tickets restores full service.
+	for range want {
+		a.release()
+	}
+	if tier, reason := a.acquire(bucket); tier != TierFull || reason != "" {
+		t.Fatalf("after drain: got (%v, %q), want full service", tier, reason)
+	}
+	a.release()
+	if got := a.Peak(); got != int64(len(want)) {
+		t.Errorf("peak moved to %d after drain, want sticky %d", got, len(want))
+	}
+}
+
+// TestAdmissionShedMetrics: shed counters appear (at zero) before any
+// shedding and count degraded requests by tier and reason.
+func TestAdmissionShedMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := newAdmission(1, 2, reg)
+	bucket := newTokenBucket(0, 0)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	idle := sb.String()
+	for _, series := range []string{
+		`mp_shed_total{reason="overload",tier="rd_only"} 0`,
+		`mp_shed_total{reason="overload",tier="rhat_only"} 0`,
+		`mp_shed_total{reason="tenant_rate",tier="rd_only"} 0`,
+	} {
+		if !strings.Contains(idle, series) {
+			t.Errorf("idle exposition missing %q:\n%s", series, idle)
+		}
+	}
+
+	a.acquire(bucket) // full
+	a.acquire(bucket) // rd_only
+	a.acquire(bucket) // rhat_only
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	loaded := sb.String()
+	for _, series := range []string{
+		`mp_shed_total{reason="overload",tier="rd_only"} 1`,
+		`mp_shed_total{reason="overload",tier="rhat_only"} 1`,
+	} {
+		if !strings.Contains(loaded, series) {
+			t.Errorf("loaded exposition missing %q:\n%s", series, loaded)
+		}
+	}
+}
+
+// TestAdmissionHardBelowSoft: a hard limit tighter than the soft one is
+// lifted so the rd_only tier is never skipped.
+func TestAdmissionHardBelowSoft(t *testing.T) {
+	a := newAdmission(4, 2, nil)
+	if a.hard != a.soft {
+		t.Fatalf("hard %d, want lifted to soft %d", a.hard, a.soft)
+	}
+}
+
+// TestTokenBucket exercises refill behavior with an injected clock.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(1, 2) // 1 token/s, burst 2
+	b.now = func() time.Time { return now }
+
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst tokens rejected")
+	}
+	if b.allow() {
+		t.Fatal("empty bucket allowed")
+	}
+	now = now.Add(1 * time.Second)
+	if !b.allow() {
+		t.Fatal("refilled token rejected")
+	}
+	if b.allow() {
+		t.Fatal("bucket over-refilled")
+	}
+	// Refill caps at burst.
+	now = now.Add(time.Hour)
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst after idle rejected")
+	}
+	if b.allow() {
+		t.Fatal("refill exceeded burst depth")
+	}
+
+	// rate <= 0 disables metering entirely, including on a nil bucket.
+	unlimited := newTokenBucket(0, 1)
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow() {
+			t.Fatal("unmetered bucket rejected")
+		}
+	}
+	var nilBucket *tokenBucket
+	if !nilBucket.allow() {
+		t.Fatal("nil bucket rejected")
+	}
+}

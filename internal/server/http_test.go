@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"metaprobe/internal/obs"
+)
+
+// TestHandlerSelect drives the full HTTP surface: GET and POST
+// selection, readiness, metrics and the multi-tenant model view.
+func TestHandlerSelect(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _, qs := buildTestServer(t, Config{Metrics: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Readiness and liveness.
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+
+	// GET selection.
+	code, body := get("/v1/select?q=" + url.QueryEscape(qs[0]) + "&k=3&t=0.9")
+	if code != http.StatusOK {
+		t.Fatalf("GET select = %d %s", code, body)
+	}
+	var viaGet SelectResponse
+	if err := json.Unmarshal(body, &viaGet); err != nil {
+		t.Fatal(err)
+	}
+	if viaGet.Tier != "full" || viaGet.Tenant != DefaultTenant || len(viaGet.Databases) != 3 {
+		t.Fatalf("GET select answered %+v", viaGet)
+	}
+
+	// POST selection with the same parameters answers identically.
+	resp, err := http.Post(ts.URL+"/v1/select", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query": %q, "k": 3, "threshold": 0.9}`, qs[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaPost SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&viaPost); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST select = %d", resp.StatusCode)
+	}
+	if fmt.Sprint(viaPost.Databases) != fmt.Sprint(viaGet.Databases) || viaPost.Certainty != viaGet.Certainty {
+		t.Fatalf("POST %+v diverged from GET %+v", viaPost, viaGet)
+	}
+
+	// Error mapping.
+	if code, _ := get("/v1/select"); code != http.StatusBadRequest {
+		t.Errorf("missing query = %d, want 400", code)
+	}
+	if code, _ := get("/v1/select?q=x&k=frog"); code != http.StatusBadRequest {
+		t.Errorf("bad k = %d, want 400", code)
+	}
+	if code, _ := get("/v1/select?q=x&metric=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad metric = %d, want 400", code)
+	}
+	if code, _ := get("/v1/select?q=x&tenant=nobody"); code != http.StatusNotFound {
+		t.Errorf("unknown tenant = %d, want 404", code)
+	}
+
+	// Tenants and the multi-tenant model document.
+	if code, body := get("/v1/tenants"); code != http.StatusOK || !strings.Contains(string(body), DefaultTenant) {
+		t.Fatalf("/v1/tenants = %d %s", code, body)
+	}
+	code, body = get("/debug/model")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/model = %d", code)
+	}
+	var models ModelsInfo
+	if err := json.Unmarshal(body, &models); err != nil {
+		t.Fatal(err)
+	}
+	ti, ok := models.Tenants[DefaultTenant]
+	if !ok || !ti.Trained || ti.Tenant != DefaultTenant {
+		t.Fatalf("/debug/model missing the default tenant: %s", body)
+	}
+	if models.Skew.Tenants != 1 {
+		t.Errorf("skew.tenants = %d, want 1", models.Skew.Tenants)
+	}
+
+	// Metrics exposition includes the service series, with zero sheds.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"mp_server_requests_total", "mp_batch_requests_total", "mp_shed_total", "mp_server_inflight"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if !strings.Contains(string(body), `mp_shed_total{reason="overload",tier="rd_only"} 0`) {
+		t.Error("idle server shows non-zero sheds")
+	}
+
+	// Drain flips readiness to 503 and selection to 503.
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz = %d, want 503", code)
+	}
+	if code, _ := get("/v1/select?q=x"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining select = %d, want 503", code)
+	}
+}

@@ -588,6 +588,17 @@ func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, flo
 	return m.names(set), e, nil
 }
 
+// SelectContext is Select bounded by ctx. The RD-based computation
+// issues no probes and runs in microseconds, so the bound is a
+// fail-fast check at entry (a request whose caller already gave up is
+// not worth even the DP), not a mid-flight cancellation point.
+func (m *Metasearcher) SelectContext(ctx context.Context, query string, k int, metric Metric) ([]string, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return m.Select(query, k, metric)
+}
+
 // SelectionResult reports an adaptive-probing selection.
 type SelectionResult struct {
 	// ID is the selection's correlation identifier ("sel-000042"),
