@@ -325,6 +325,44 @@ func BenchmarkAProSelect(b *testing.B) {
 	}
 }
 
+// BenchmarkAProSelectSteady measures the steady-state serving path:
+// the per-query state is Reuse'd from a prebuilt template and APro
+// writes into a reused Outcome, so after warm-up the whole selection —
+// incremental E[Cor], greedy ranking, probe application — runs out of
+// pooled scratch. CI gates this benchmark's allocs/op at ≤ 2 absolute
+// (cmd/bench/compare.go), not just ratio-vs-baseline.
+func BenchmarkAProSelectSteady(b *testing.B) {
+	env := benchEnv(b)
+	q := env.Test[0]
+	actual := make([]float64, env.Testbed.Len())
+	for i := range actual {
+		v, err := env.Rel.Probe(env.Testbed.DB(i), q.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		actual[i] = v
+	}
+	probe := func(db int) (float64, error) { return actual[db], nil }
+	template := env.Selection(q, core.Absolute, 3)
+	sel := env.Selection(q, core.Absolute, 3)
+	g := &core.Greedy{}
+	var out core.Outcome
+	for i := 0; i < 3; i++ { // warm-up: grow buffers, fill the pool
+		sel.Reuse(template)
+		if err := core.AProInto(sel, probe, g, 0.9, -1, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Reuse(template)
+		if err := core.AProInto(sel, probe, g, 0.9, -1, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkObserveProbe measures folding one observed (estimate,
 // actual) pair back into the model's error distributions — the
 // per-probe cost of online refinement.

@@ -23,7 +23,17 @@ const (
 	probesFactor  = 1.25 // probes/query may grow 25%...
 	probesSlack   = 0.5  // ...plus half a probe
 	corSlack      = 0.05 // avg Cor_a may drop 0.05 absolute
+
+	// steadyAllocCap is an absolute gate, not a ratio: the steady-state
+	// serving benchmark (Reuse + AProInto over pooled scratch) must stay
+	// at ≤ 2 allocs/op regardless of what the baseline recorded, so the
+	// zero-allocation hot path cannot erode alloc-by-alloc under the
+	// relative tolerance.
+	steadyAllocCap = 2.0
 )
+
+// steadyBenchName is the go-test benchmark held to steadyAllocCap.
+const steadyBenchName = "BenchmarkAProSelectSteady"
 
 // diffAgainstBaseline loads the baseline report and compares the
 // current one against it, printing a line per checked metric. It
@@ -91,6 +101,21 @@ func compareReports(base, cur benchReport, w io.Writer) []string {
 	}
 	micro("micro", base.Micro, cur.Micro)
 	micro("gobench", base.GoBench, cur.GoBench)
+
+	// Absolute steady-state allocation gate, independent of the
+	// baseline: applies whenever the current report carries the steady
+	// serving benchmark, even before a baseline records it.
+	if cm, ok := cur.GoBench[steadyBenchName]; ok {
+		checked++
+		status := "ok"
+		if cm.AllocsPerOp > steadyAllocCap {
+			status = "REGRESSED"
+			regs = append(regs, fmt.Sprintf("gobench/%s allocs/op: %.4g > absolute cap %.4g",
+				steadyBenchName, cm.AllocsPerOp, steadyAllocCap))
+		}
+		fmt.Fprintf(w, "  %-52s cap=%-12.4g cur=%-12.4g %s\n",
+			"gobench/"+steadyBenchName+" allocs/op (absolute)", steadyAllocCap, cm.AllocsPerOp, status)
+	}
 
 	curTiers := make(map[string]workloadResult, len(cur.Workloads))
 	for _, res := range cur.Workloads {

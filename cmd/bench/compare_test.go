@@ -138,6 +138,27 @@ func TestCompareReportsFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareSteadyAllocCapIsAbsolute: the steady serving benchmark's
+// allocs/op gate is an absolute cap, not a baseline ratio — it trips
+// even when the baseline itself recorded the same (bad) value, and
+// even when the baseline lacks the benchmark entirely.
+func TestCompareSteadyAllocCapIsAbsolute(t *testing.T) {
+	base := baseReportForCompare()
+	cur := baseReportForCompare()
+	cur.GoBench[steadyBenchName] = microResult{NsPerOp: 1e6, AllocsPerOp: steadyAllocCap + 1, BytesPerOp: 64}
+	if regs := compareReports(base, cur, io.Discard); len(regs) != 1 {
+		t.Fatalf("over-cap steady benchmark absent from baseline: regressions = %v, want 1", regs)
+	}
+	base.GoBench[steadyBenchName] = cur.GoBench[steadyBenchName]
+	if regs := compareReports(base, cur, io.Discard); len(regs) != 1 {
+		t.Fatalf("over-cap steady benchmark matching baseline: regressions = %v, want 1", regs)
+	}
+	cur.GoBench[steadyBenchName] = microResult{NsPerOp: 1e6, AllocsPerOp: 0, BytesPerOp: 0}
+	if regs := compareReports(base, cur, io.Discard); len(regs) != 0 {
+		t.Fatalf("allocation-free steady benchmark flagged: %v", regs)
+	}
+}
+
 func TestCompareSkipsMissingKeys(t *testing.T) {
 	base := baseReportForCompare()
 	base.Micro["extra"] = microResult{NsPerOp: 1, AllocsPerOp: 1, BytesPerOp: 1}

@@ -7,13 +7,19 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestSmokeRun exercises the full harness in -smoke mode — the exact
 // configuration CI runs — and validates the report it writes.
 func TestSmokeRun(t *testing.T) {
 	dir := t.TempDir()
-	cfg := benchConfig{label: "smoketest", outDir: dir, smoke: true, seed: 2004, k: 3, t: 0.9}
+	// probeDelay mirrors CI's -probe-delay flag (scaled down to keep the
+	// test fast): the service tier's coalesce assertion needs leader
+	// runs to outlast goroutine-scheduling skew, which pure compute no
+	// longer does.
+	cfg := benchConfig{label: "smoketest", outDir: dir, smoke: true, seed: 2004, k: 3, t: 0.9,
+		probeDelay: 2 * time.Millisecond}
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
 	path, err := runBench(cfg, log)
 	if err != nil {

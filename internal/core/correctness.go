@@ -83,6 +83,7 @@ func MembershipProb(rds []*RD, i, k int) float64 {
 	}
 	total := 0.0
 	beatProbs := make([]float64, 0, n-1)
+	dp := make([]float64, k)
 	for vi := 0; vi < rds[i].Len(); vi++ {
 		v := rds[i].Value(vi)
 		pv := rds[i].Prob(vi)
@@ -98,7 +99,7 @@ func MembershipProb(rds []*RD, i, k int) float64 {
 			}
 			beatProbs = append(beatProbs, p)
 		}
-		total += pv * stats.PoissonBinomialAtMost(k-1, beatProbs)
+		total += pv * stats.PoissonBinomialAtMostInto(k-1, beatProbs, dp)
 	}
 	if total > 1 {
 		total = 1
@@ -265,22 +266,31 @@ func BestSet(metric Metric, rds []*RD, k int, opts BestSetOptions) ([]int, float
 	candidates := order[:m]
 
 	bestE := -1.0
-	var best []int
+	best := make([]int, k)
 	set := make([]int, k)
+	chosen := make([]int, k)
 	var recurse func(start, depth int)
 	recurse = func(start, depth int) {
 		if depth == k {
-			chosen := make([]int, k)
 			copy(chosen, set)
 			sort.Ints(chosen)
 			e := ExpectedAbsolute(rds, chosen)
 			if e > bestE {
 				bestE = e
-				best = chosen
+				copy(best, chosen)
 			}
 			return
 		}
 		for i := start; i <= len(candidates)-(k-depth); i++ {
+			// Exact bound: a correct set has every member in the true
+			// top-k, so E[Cor_a(S)] ≤ min_{i∈S} P(i ∈ topk). Candidates
+			// are ordered by decreasing marginal, so once one cannot
+			// beat the incumbent the whole suffix at this level goes
+			// with it. The slack guards the boundary against
+			// floating-point rounding in the two sides of the compare.
+			if bestE >= 0 && marginals[candidates[i]]+pruneSlack <= bestE {
+				break
+			}
 			set[depth] = candidates[i]
 			recurse(i+1, depth+1)
 		}
@@ -288,3 +298,8 @@ func BestSet(metric Metric, rds []*RD, k int, opts BestSetOptions) ([]int, float
 	recurse(0, 0)
 	return best, bestE
 }
+
+// pruneSlack pads the marginal-bound prune in the best-set search: the
+// bound is exact in real arithmetic, and the slack keeps float rounding
+// from pruning a subset that would have (numerically) won by an ulp.
+const pruneSlack = 1e-12

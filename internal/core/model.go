@@ -218,18 +218,42 @@ type Selection struct {
 	// stageObs, when set, receives hot-path stage timings (see
 	// stage.go). Nil by default: attribution off.
 	stageObs StageObserver
+
+	// scratch is the pooled incremental evaluation state (selstate.go),
+	// acquired lazily on the first Best and handed back by Release. It
+	// caches the key grid, Poisson-binomial DP rows and membership
+	// marginals of the current RDs; ApplyProbe invalidates it.
+	scratch *selScratch
+	// noScratch forces the from-scratch reference path — the
+	// differential tests use it to pin the incremental path against
+	// the original evaluation.
+	noScratch bool
+	// hypDepth tracks nested withHypothesis scopes. Depth 1 runs on
+	// the scratch's one-factor overlay; deeper nesting (the optimal
+	// policy's expectimin) falls back to the reference path.
+	hypDepth int
+	hypDB    int
+	hypVI    int
+	// impulses are selection-owned impulse RDs reused by ApplyProbe
+	// (one per database) so steady-state probing does not allocate.
+	impulses []*RD
+	// unprobedBuf caches the unprobed index list for UnprobedView.
+	unprobedBuf   []int
+	unprobedStale bool
 }
 
 // NewSelection builds the initial (unprobed) state for a query.
 func (m *Model) NewSelection(query string, numTerms int, metric Metric, k int) *Selection {
 	n := len(m.DBs)
 	s := &Selection{
-		Metric:    metric,
-		K:         k,
-		Query:     query,
-		rds:       make([]*RD, n),
-		estimates: make([]float64, n),
-		probed:    make([]bool, n),
+		Metric:        metric,
+		K:             k,
+		Query:         query,
+		rds:           make([]*RD, n),
+		estimates:     make([]float64, n),
+		probed:        make([]bool, n),
+		hypVI:         -1,
+		unprobedStale: true,
 	}
 	for i := 0; i < n; i++ {
 		s.rds[i], s.estimates[i] = m.RDFor(i, query, numTerms)
@@ -245,11 +269,13 @@ func NewSelectionFromRDs(rds []*RD, metric Metric, k int) *Selection {
 		ests[i] = rd.Mean()
 	}
 	return &Selection{
-		Metric:    metric,
-		K:         k,
-		rds:       append([]*RD(nil), rds...),
-		estimates: ests,
-		probed:    make([]bool, len(rds)),
+		Metric:        metric,
+		K:             k,
+		rds:           append([]*RD(nil), rds...),
+		estimates:     ests,
+		probed:        make([]bool, len(rds)),
+		hypVI:         -1,
+		unprobedStale: true,
 	}
 }
 
@@ -272,31 +298,166 @@ func (s *Selection) Estimate(i int) float64 { return s.estimates[i] }
 // Probed reports whether database i has been probed.
 func (s *Selection) Probed(i int) bool { return s.probed[i] }
 
-// Unprobed lists the databases not yet probed, in index order.
+// Unprobed lists the databases not yet probed, in index order. The
+// returned slice is a fresh copy the caller may keep; hot paths that
+// only read use UnprobedView.
 func (s *Selection) Unprobed() []int {
-	var out []int
-	for i, p := range s.probed {
-		if !p {
-			out = append(out, i)
-		}
+	v := s.UnprobedView()
+	if len(v) == 0 {
+		return nil
 	}
-	return out
+	return append([]int(nil), v...)
+}
+
+// UnprobedView returns the unprobed database indices in ascending
+// order without allocating. The slice is owned by the selection and
+// valid only until the next probe, mark or probed hypothesis.
+func (s *Selection) UnprobedView() []int {
+	if s.unprobedStale {
+		s.unprobedBuf = s.unprobedBuf[:0]
+		for i, p := range s.probed {
+			if !p {
+				s.unprobedBuf = append(s.unprobedBuf, i)
+			}
+		}
+		s.unprobedStale = false
+	}
+	return s.unprobedBuf
 }
 
 // ApplyProbe records a probe outcome: database i's RD collapses to an
-// impulse at the observed relevancy.
+// impulse at the observed relevancy. The impulse is selection-owned
+// and reused across Reuse cycles, so steady-state probing allocates
+// nothing after warm-up.
 func (s *Selection) ApplyProbe(i int, value float64) {
-	s.rds[i] = Impulse(value)
+	s.rds[i] = s.ownedImpulse(i, value)
 	s.probed[i] = true
+	s.unprobedStale = true
+	s.invalidate()
+}
+
+// ownedImpulse returns the selection's reusable impulse RD for
+// database i, re-pointed at v.
+func (s *Selection) ownedImpulse(i int, v float64) *RD {
+	if s.impulses == nil {
+		s.impulses = make([]*RD, len(s.rds))
+	}
+	if s.impulses[i] == nil {
+		s.impulses[i] = Impulse(v)
+	} else {
+		s.impulses[i].setImpulse(v)
+	}
+	return s.impulses[i]
+}
+
+// invalidate marks the incremental scratch stale after an RD changed.
+func (s *Selection) invalidate() {
+	if s.scratch != nil {
+		s.scratch.valid = false
+	}
 }
 
 // MarkUnprobeable excludes a database from future probing without
 // changing its RD (used when a live probe fails).
-func (s *Selection) MarkUnprobeable(i int) { s.probed[i] = true }
+func (s *Selection) MarkUnprobeable(i int) {
+	s.probed[i] = true
+	s.unprobedStale = true
+}
 
 // Best returns the current best k-set and its expected correctness.
+// The set is a fresh copy; the allocation-free variant is BestView.
 func (s *Selection) Best() ([]int, float64) {
-	return BestSet(s.Metric, s.rds, s.K, s.opts)
+	set, e := s.best()
+	if set == nil {
+		return nil, e
+	}
+	return append([]int(nil), set...), e
+}
+
+// BestView is Best without allocating: the returned slice is owned by
+// the selection and valid only until the next Best/BestView call,
+// probe or hypothesis. APro's loop uses it.
+func (s *Selection) BestView() ([]int, float64) {
+	return s.best()
+}
+
+// best routes the evaluation: the incremental scratch on the serving
+// path, the from-scratch reference on edge cases (k ≥ n, nested
+// hypotheses) and when noScratch pins the reference for tests.
+func (s *Selection) best() ([]int, float64) {
+	n := len(s.rds)
+	if s.noScratch || s.K <= 0 || s.K >= n || s.hypDepth > 1 {
+		return BestSet(s.Metric, s.rds, s.K, s.opts)
+	}
+	if s.hypDepth == 1 {
+		sc := s.scratch
+		if sc == nil || !sc.valid || sc.k != s.K || sc.n != n || s.hypVI < 0 {
+			// The hypothesis swap is already in s.rds, so the scratch
+			// cannot be (re)built from base state here — evaluate from
+			// scratch instead. Only reachable when a hypothesis was
+			// opened without the scratch path (see beginHypothesisIdx).
+			return BestSet(s.Metric, s.rds, s.K, s.opts)
+		}
+		if !sc.hypActive {
+			sc.beginHypothesis(s.hypDB, s.hypVI)
+		}
+		return sc.bestFrom(sc.hypMarg, s.Metric, s.opts)
+	}
+	s.ensureScratch()
+	return s.scratch.bestFrom(s.scratch.marg, s.Metric, s.opts)
+}
+
+// ensureScratch acquires the pooled scratch and rebuilds it from the
+// current RDs when stale. Callers guarantee 0 < K < len(rds) and no
+// active hypothesis swap in s.rds.
+func (s *Selection) ensureScratch() {
+	if s.scratch == nil {
+		s.scratch = acquireScratch()
+	}
+	sc := s.scratch
+	if !sc.valid || sc.k != s.K || sc.n != len(s.rds) {
+		sc.build(s.rds, s.K)
+	}
+}
+
+// Release hands the selection's pooled scratch state back for reuse by
+// later selections. Call it when done with the selection (the facade
+// does, once per query); the selection stays usable afterwards — the
+// scratch is simply re-acquired on demand.
+func (s *Selection) Release() {
+	if s.scratch == nil || s.hypDepth != 0 {
+		return
+	}
+	s.scratch.release()
+	s.scratch = nil
+}
+
+// Reuse re-initializes the selection as a fresh (unprobed-state) copy
+// of src — same metric, k, query, options and RDs — reusing this
+// selection's backing arrays and scratch. It is the zero-allocation
+// way to run many selections over one template state (benchmarks,
+// replay harnesses). src is typically a pristine template: RDs src
+// obtained from the model are immutable and safely shared, while any
+// probed entries are copied into selection-owned impulses so later
+// probing of either selection cannot alias the other.
+func (s *Selection) Reuse(src *Selection) {
+	s.Metric, s.K, s.Query = src.Metric, src.K, src.Query
+	s.opts = src.opts
+	s.rds = append(s.rds[:0], src.rds...)
+	s.estimates = append(s.estimates[:0], src.estimates...)
+	if cap(s.probed) < len(src.probed) {
+		s.probed = make([]bool, len(src.probed))
+	}
+	s.probed = s.probed[:len(src.probed)]
+	copy(s.probed, src.probed)
+	for i, rd := range s.rds {
+		if s.probed[i] && rd.IsImpulse() {
+			s.rds[i] = s.ownedImpulse(i, rd.Value(0))
+		}
+	}
+	s.hypDepth, s.hypVI = 0, -1
+	s.unprobedStale = true
+	s.invalidate()
 }
 
 // Marginals returns P(dbᵢ ∈ top-k) for every database — the
@@ -304,6 +465,12 @@ func (s *Selection) Best() ([]int, float64) {
 // explaining a decision to a user or operator.
 func (s *Selection) Marginals() []float64 {
 	out := make([]float64, len(s.rds))
+	if !s.noScratch && s.hypDepth == 0 && s.scratch != nil &&
+		s.scratch.valid && !s.scratch.hypActive &&
+		s.scratch.k == s.K && s.scratch.n == len(s.rds) {
+		copy(out, s.scratch.marg)
+		return out
+	}
 	for i := range s.rds {
 		out[i] = MembershipProb(s.rds, i, s.K)
 	}
@@ -317,14 +484,67 @@ func (s *Selection) BaselineSelect() []int {
 	return TopKByScore(s.estimates, s.K)
 }
 
-// withHypothesis evaluates f with database i's RD temporarily replaced
-// by an impulse at v (the greedy policy's "consider all the outcomes of
-// probing dbᵢ", Figure 13).
-func (s *Selection) withHypothesis(i int, v float64, f func()) {
+// beginHypothesisIdx swaps database i's RD for an impulse at its vi-th
+// support value (the greedy policy's "consider all the outcomes of
+// probing dbᵢ", Figure 13) and returns the displaced RD for
+// endHypothesisIdx. The begin/end pair is deliberately not a
+// callback: the usefulness sweep calls it per support value, and a
+// closure there would allocate on every hypothesis.
+//
+// At depth 1 on the serving path the swap uses the scratch's reusable
+// impulse and arms the one-factor overlay (built lazily by best());
+// nested hypotheses — the optimal policy's expectimin — get a plain
+// impulse and evaluate via the reference path.
+func (s *Selection) beginHypothesisIdx(i, vi int) *RD {
 	old := s.rds[i]
+	v := old.Value(vi)
+	s.hypDepth++
+	if s.hypDepth == 1 {
+		s.hypDB, s.hypVI = i, vi
+		if !s.noScratch && s.K > 0 && s.K < len(s.rds) {
+			// Build (or refresh) the scratch from the base RDs before
+			// the swap; afterwards the base state is unobservable.
+			s.ensureScratch()
+			s.rds[i] = s.scratch.hypImpulse(v)
+			return old
+		}
+		s.hypVI = -1
+	}
 	s.rds[i] = Impulse(v)
-	f()
+	return old
+}
+
+// endHypothesisIdx restores the RD displaced by beginHypothesisIdx.
+func (s *Selection) endHypothesisIdx(i int, old *RD) {
 	s.rds[i] = old
+	if s.hypDepth == 1 {
+		if s.scratch != nil && s.scratch.hypActive {
+			s.scratch.endHypothesis()
+		}
+		s.hypVI = -1
+	}
+	s.hypDepth--
+}
+
+// withHypothesisIdx evaluates f inside a hypothesis scope.
+func (s *Selection) withHypothesisIdx(i, vi int, f func()) {
+	old := s.beginHypothesisIdx(i, vi)
+	f()
+	s.endHypothesisIdx(i, old)
+}
+
+// withProbedHypothesisIdx additionally marks database i probed for the
+// duration of f — the optimal policy's "suppose we probed dbᵢ and saw
+// its vi-th value" recursion step. Routing it through the hypothesis
+// API keeps the selection-state invalidation (scratch, unprobed view)
+// correct instead of mutating rds/probed behind the caches.
+func (s *Selection) withProbedHypothesisIdx(i, vi int, f func()) {
+	wasProbed := s.probed[i]
+	s.probed[i] = true
+	s.unprobedStale = true
+	s.withHypothesisIdx(i, vi, f)
+	s.probed[i] = wasProbed
+	s.unprobedStale = true
 }
 
 // TopKByScore returns the indices of the k highest scores, ties broken

@@ -52,6 +52,13 @@ type Outcome struct {
 	Steps []ProbeStep
 	// Reached reports whether Certainty met the user's threshold.
 	Reached bool
+	// ProbeErrs are the errors of failed probe attempts, in step
+	// order. A selection can reach the threshold even after probes
+	// failed and marked databases unprobeable; the errors are
+	// surfaced here (and joined into APro's error return) on every
+	// exit, so callers learn the selection degraded even when
+	// Reached is true.
+	ProbeErrs []error
 }
 
 // UsefulnessReporter is implemented by probe policies that compute an
@@ -87,6 +94,13 @@ func (o Outcome) Probes() int {
 	return n
 }
 
+// ErrNoInformativeProbe reports that every remaining unprobed RD is
+// already an impulse: live probes can only confirm known values and
+// cannot change E[Cor], so issuing them would be pure backend traffic.
+// Policies return it (wrapped or bare) from Next/Rank; APro treats it
+// as a graceful stop, returning the best set with Reached=false.
+var ErrNoInformativeProbe = errors.New("core: no informative probe available")
+
 // APro is the adaptive probing algorithm (Figure 11): starting from
 // the RD-based state, repeatedly check whether some k-set reaches the
 // user-required expected correctness t; if not, pick a database with
@@ -94,25 +108,38 @@ func (o Outcome) Probes() int {
 // again. maxProbes < 0 means unbounded (bounded anyway by the number
 // of databases).
 //
-// Failed probes mark the database unprobeable and continue; if the
-// threshold remains unreachable after every database is probed or
-// unprobeable, the best available set is returned with Reached=false
-// and the accumulated probe errors.
+// Failed probes mark the database unprobeable and continue; they are
+// recorded in Outcome.ProbeErrs and joined into the returned error on
+// every exit — including when the threshold is eventually reached —
+// so callers always learn the selection degraded. If the threshold
+// remains unreachable after every database is probed or unprobeable,
+// or the policy reports ErrNoInformativeProbe, the best available set
+// is returned with Reached=false.
 func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int) (Outcome, error) {
+	var out Outcome
+	err := AProInto(s, probe, policy, t, maxProbes, &out)
+	return out, err
+}
+
+// AProInto is APro writing into a caller-owned Outcome, reusing its
+// Set/Steps/ProbeErrs capacity — the steady-state form for callers
+// that run many selections back to back (paired with Selection.Reuse
+// it keeps the whole probe loop allocation-free). out is reset first.
+func AProInto(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int, out *Outcome) error {
+	*out = Outcome{Set: out.Set[:0], Steps: out.Steps[:0], ProbeErrs: out.ProbeErrs[:0]}
 	if t < 0 || t > 1 {
-		return Outcome{}, fmt.Errorf("core: certainty threshold %v outside [0,1]", t)
+		return fmt.Errorf("core: certainty threshold %v outside [0,1]", t)
 	}
 	if probe == nil || policy == nil {
-		return Outcome{}, fmt.Errorf("core: APro needs a probe function and a policy")
+		return fmt.Errorf("core: APro needs a probe function and a policy")
 	}
-	var out Outcome
-	var probeErrs []error
 	first := true
 	for {
 		mark := s.BeginStage()
-		set, e := s.Best()
+		set, e := s.BestView()
 		s.EndStage(mark, StageECorDP)
-		out.Set, out.Certainty = set, e
+		out.Set = append(out.Set[:0], set...)
+		out.Certainty = e
 		// Every loop entry after a step re-evaluates the best set, so
 		// this is the natural place to close out the trajectory: the
 		// first evaluation is the RD-based starting certainty, later
@@ -125,19 +152,26 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 		}
 		if e >= t {
 			out.Reached = true
-			return out, nil
+			return errors.Join(out.ProbeErrs...)
 		}
-		if len(s.Unprobed()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
-			return out, errors.Join(probeErrs...)
+		if len(s.UnprobedView()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
+			return errors.Join(out.ProbeErrs...)
 		}
 		mark = s.BeginStage()
 		i, err := policy.Next(s, t)
 		s.EndStage(mark, StageRank)
 		if err != nil {
-			return out, fmt.Errorf("core: probe policy %s: %w", policy.Name(), err)
+			if errors.Is(err, ErrNoInformativeProbe) {
+				// Every remaining unprobed RD is an impulse: further
+				// probes cannot move E[Cor], so stop with the best
+				// available set instead of issuing informationless
+				// backend traffic.
+				return errors.Join(out.ProbeErrs...)
+			}
+			return fmt.Errorf("core: probe policy %s: %w", policy.Name(), err)
 		}
 		if s.Probed(i) {
-			return out, fmt.Errorf("core: policy %s chose already-probed database %d", policy.Name(), i)
+			return fmt.Errorf("core: policy %s chose already-probed database %d", policy.Name(), i)
 		}
 		usefulness := 0.0
 		if ur, ok := policy.(UsefulnessReporter); ok {
@@ -148,9 +182,8 @@ func APro(s *Selection, probe ProbeFunc, policy Policy, t float64, maxProbes int
 		s.EndStage(mark, StageProbe)
 		if err != nil {
 			s.MarkUnprobeable(i)
-			step := ProbeStep{DB: i, Err: err, Usefulness: usefulness}
-			out.Steps = append(out.Steps, step)
-			probeErrs = append(probeErrs, err)
+			out.Steps = append(out.Steps, ProbeStep{DB: i, Err: err, Usefulness: usefulness})
+			out.ProbeErrs = append(out.ProbeErrs, err)
 			continue
 		}
 		s.ApplyProbe(i, v)
@@ -172,6 +205,17 @@ type Greedy struct {
 	// state: share one Greedy per selection, not across goroutines
 	// (the facade allocates a fresh policy per query).
 	lastUsefulness float64
+
+	// Ranking buffers, reused across rank calls so the steady-state
+	// probe loop does not allocate. Same sharing rule as
+	// lastUsefulness: one Greedy per concurrent selection.
+	candIdx   []int
+	candRaw   []float64
+	candScore []float64
+	candCost  []float64
+	picked    []bool
+	dbs       []int
+	us        []float64
 }
 
 // Name implements Policy.
@@ -181,23 +225,25 @@ func (g *Greedy) Name() string { return "greedy" }
 func (g *Greedy) LastUsefulness() float64 { return g.lastUsefulness }
 
 // Usefulness computes the expected usefulness of probing database i:
-// Σ_v P(rᵢ = v) · max_set E[Cor(set) | rᵢ = v] (Figure 13).
+// Σ_v P(rᵢ = v) · max_set E[Cor(set) | rᵢ = v] (Figure 13). The
+// hypothesis scope is an explicit begin/end pair, not a callback, so
+// the per-support-value sweep does not allocate a closure.
 func (g *Greedy) Usefulness(s *Selection, i int) float64 {
 	rd := s.RD(i)
 	u := 0.0
 	for vi := 0; vi < rd.Len(); vi++ {
-		v, p := rd.Value(vi), rd.Prob(vi)
-		s.withHypothesis(i, v, func() {
-			_, e := s.Best()
-			u += p * e
-		})
+		p := rd.Prob(vi)
+		old := s.beginHypothesisIdx(i, vi)
+		_, e := s.best()
+		s.endHypothesisIdx(i, old)
+		u += p * e
 	}
 	return u
 }
 
 // Next implements Policy: the top-ranked candidate.
 func (g *Greedy) Next(s *Selection, t float64) (int, error) {
-	dbs, us, err := g.Rank(s, t, 1)
+	dbs, us, err := g.rank(s, t, 1)
 	if err != nil {
 		return 0, err
 	}
@@ -210,13 +256,25 @@ func (g *Greedy) Next(s *Selection, t float64) (int, error) {
 // comparison rules (score above an epsilon margin wins; near-equal
 // scores prefer the cheaper probe; remaining ties the lower index).
 // Usefulness values are the raw (cost-unnormalized) expectations,
-// matching LastUsefulness.
+// matching LastUsefulness. The returned slices are fresh copies the
+// caller may keep.
 func (g *Greedy) Rank(s *Selection, t float64, m int) ([]int, []float64, error) {
-	unprobed := s.Unprobed()
+	dbs, us, err := g.rank(s, t, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]int(nil), dbs...), append([]float64(nil), us...), nil
+}
+
+// rank is Rank over g's reusable buffers: the returned slices are
+// owned by g and valid until the next rank call. Next uses it so the
+// steady-state probe loop stays allocation-free.
+func (g *Greedy) rank(s *Selection, t float64, m int) ([]int, []float64, error) {
+	unprobed := s.UnprobedView()
 	if len(unprobed) == 0 {
 		return nil, nil, fmt.Errorf("no unprobed database left")
 	}
-	_, current := s.Best()
+	_, current := s.best()
 	cost := func(i int) float64 {
 		if g.Cost == nil {
 			return 1
@@ -226,15 +284,13 @@ func (g *Greedy) Rank(s *Selection, t float64, m int) ([]int, []float64, error) 
 		}
 		return 1
 	}
-	type candidate struct {
-		i                int
-		raw, score, cost float64
-	}
-	var cands []candidate
+	g.candIdx = g.candIdx[:0]
+	g.candRaw = g.candRaw[:0]
+	g.candScore = g.candScore[:0]
+	g.candCost = g.candCost[:0]
 	for _, i := range unprobed {
 		if s.RD(i).IsImpulse() {
-			// Probing a known value cannot change anything; skip
-			// unless nothing else is available.
+			// Probing a known value cannot change E[Cor]; skip it.
 			continue
 		}
 		raw := g.Usefulness(s, i)
@@ -246,39 +302,50 @@ func (g *Greedy) Rank(s *Selection, t float64, m int) ([]int, []float64, error) 
 			// should prefer the cheaper probe.
 			score = (score - current) / c
 		}
-		cands = append(cands, candidate{i: i, raw: raw, score: score, cost: c})
+		g.candIdx = append(g.candIdx, i)
+		g.candRaw = append(g.candRaw, raw)
+		g.candScore = append(g.candScore, score)
+		g.candCost = append(g.candCost, c)
 	}
-	if len(cands) == 0 {
-		// All remaining RDs are impulses; probing is informationless
-		// but legal — pick the first to make progress.
-		return []int{unprobed[0]}, []float64{current}, nil
+	if len(g.candIdx) == 0 {
+		// Every remaining unprobed RD is an impulse: a probe would be
+		// informationless backend traffic. Report it so APro stops
+		// instead of issuing probes that cannot change the selection.
+		return nil, nil, ErrNoInformativeProbe
 	}
-	if m <= 0 || m > len(cands) {
-		m = len(cands)
+	if m <= 0 || m > len(g.candIdx) {
+		m = len(g.candIdx)
 	}
-	dbs := make([]int, 0, m)
-	us := make([]float64, 0, m)
-	picked := make([]bool, len(cands))
-	for len(dbs) < m {
+	g.dbs = g.dbs[:0]
+	g.us = g.us[:0]
+	if cap(g.picked) < len(g.candIdx) {
+		g.picked = make([]bool, len(g.candIdx))
+	}
+	g.picked = g.picked[:len(g.candIdx)]
+	for ci := range g.picked {
+		g.picked[ci] = false
+	}
+	for len(g.dbs) < m {
 		best := -1
 		bestScore, bestCost := 0.0, 0.0
-		for ci, c := range cands {
-			if picked[ci] {
+		for ci := range g.candIdx {
+			if g.picked[ci] {
 				continue
 			}
+			score, c := g.candScore[ci], g.candCost[ci]
 			switch {
 			case best < 0,
-				c.score > bestScore+probEpsilon,
+				score > bestScore+probEpsilon,
 				// On (near-)equal scores, prefer the cheaper probe.
-				equalFloat(c.score, bestScore) && c.cost < bestCost-probEpsilon:
-				best, bestScore, bestCost = ci, c.score, c.cost
+				equalFloat(score, bestScore) && c < bestCost-probEpsilon:
+				best, bestScore, bestCost = ci, score, c
 			}
 		}
-		picked[best] = true
-		dbs = append(dbs, cands[best].i)
-		us = append(us, cands[best].raw)
+		g.picked[best] = true
+		g.dbs = append(g.dbs, g.candIdx[best])
+		g.us = append(g.us, g.candRaw[best])
 	}
-	return dbs, us, nil
+	return g.dbs, g.us, nil
 }
 
 // Random probes a uniformly random unprobed database — the naive
@@ -383,21 +450,26 @@ func (o *Optimal) Next(s *Selection, t float64) (int, error) {
 }
 
 // expectedRemaining returns E[#further probes after probing i], the
-// expectimin recursion over i's outcomes.
+// expectimin recursion over i's outcomes. Each "suppose we probed dbᵢ
+// and saw its vi-th value" branch goes through the selection's probed
+// hypothesis scope, which keeps the incremental caches (scratch,
+// unprobed view) coherent instead of mutating rds/probed behind them.
 func (o *Optimal) expectedRemaining(s *Selection, i int, t float64) float64 {
 	rd := s.RD(i)
 	total := 0.0
 	for vi := 0; vi < rd.Len(); vi++ {
-		v, p := rd.Value(vi), rd.Prob(vi)
-		old := s.rds[i]
-		s.rds[i] = Impulse(v)
-		s.probed[i] = true
-
-		if _, e := s.Best(); e >= t {
-			// Reached: no further probes in this branch.
-		} else if rest := s.Unprobed(); len(rest) == 0 {
-			// Exhausted without reaching t: no further probes possible.
-		} else {
+		p := rd.Prob(vi)
+		s.withProbedHypothesisIdx(i, vi, func() {
+			if _, e := s.Best(); e >= t {
+				// Reached: no further probes in this branch.
+				return
+			}
+			rest := s.Unprobed()
+			if len(rest) == 0 {
+				// Exhausted without reaching t: no further probes
+				// possible.
+				return
+			}
 			bestCost := -1.0
 			for _, j := range rest {
 				c := 1 + o.expectedRemaining(s, j, t)
@@ -406,10 +478,7 @@ func (o *Optimal) expectedRemaining(s *Selection, i int, t float64) float64 {
 				}
 			}
 			total += p * bestCost
-		}
-
-		s.rds[i] = old
-		s.probed[i] = false
+		})
 	}
 	return total
 }

@@ -415,19 +415,64 @@ func TestGreedyRankMatchesNext(t *testing.T) {
 	}
 }
 
+// TestGreedyRankAllImpulses: when every unprobed RD is an impulse, a
+// probe cannot change E[Cor], so ranking reports ErrNoInformativeProbe
+// instead of suggesting informationless backend traffic.
 func TestGreedyRankAllImpulses(t *testing.T) {
 	rds := []*RD{Impulse(50), Impulse(60)}
 	sel := NewSelectionFromRDs(rds, Absolute, 1)
 	g := &Greedy{}
 	dbs, us, err := g.Rank(sel, 0.99, 3)
+	if !errors.Is(err, ErrNoInformativeProbe) {
+		t.Fatalf("Rank over impulses: err = %v, want ErrNoInformativeProbe", err)
+	}
+	if dbs != nil || us != nil {
+		t.Errorf("Rank over impulses = %v, %v; want nil, nil", dbs, us)
+	}
+}
+
+// TestAProStopsOnUninformativeProbes: an APro run whose remaining
+// unprobed RDs are all impulses terminates gracefully — Reached=false,
+// best available set, zero probes issued — rather than probing known
+// values.
+func TestAProStopsOnUninformativeProbes(t *testing.T) {
+	rds := []*RD{Impulse(50), Impulse(60), Impulse(70)}
+	sel := NewSelectionFromRDs(rds, Absolute, 2)
+	probes := 0
+	probe := func(int) (float64, error) { probes++; return 0, nil }
+	// Threshold 1+ε is unreachable even with perfect knowledge... but
+	// t must be ≤ 1, so use a partial-metric state whose certainty
+	// stays below t: impulses give certainty 1 for the true top set,
+	// so instead verify via an unreachable mixed state below.
+	out, err := APro(sel, probe, &Greedy{}, 1, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dbs) != 1 || dbs[0] != 0 {
-		t.Errorf("Rank over impulses = %v, want [0]", dbs)
+	// Impulse-only states have certainty exactly 1, so the threshold is
+	// met with zero probes here; the sentinel path needs uncertainty
+	// that probing cannot fix — an unprobeable database.
+	if probes != 0 || !out.Reached {
+		t.Fatalf("impulse-only state: probes=%d reached=%v", probes, out.Reached)
 	}
-	_, current := sel.Best()
-	if len(us) != 1 || us[0] != current {
-		t.Errorf("usefulness = %v, want current certainty %v", us, current)
+
+	rds = []*RD{
+		mustRD([]float64{40, 80}, []float64{0.5, 0.5}),
+		Impulse(60),
+		Impulse(50),
+	}
+	sel = NewSelectionFromRDs(rds, Absolute, 1)
+	sel.MarkUnprobeable(0) // the only informative probe target is gone
+	out, err = APro(sel, probe, &Greedy{}, 0.999, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes != 0 {
+		t.Errorf("issued %d informationless probes, want 0", probes)
+	}
+	if out.Reached {
+		t.Error("Reached = true; threshold is unreachable without probing db 0")
+	}
+	if len(out.Set) != 1 {
+		t.Errorf("best available set = %v, want a 1-set", out.Set)
 	}
 }

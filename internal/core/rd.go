@@ -37,6 +37,13 @@ const probEpsilon = 1e-9
 type RD struct {
 	values []float64
 	probs  []float64
+	// cumLT[i] = Σ_{t<i} probs[t] and cumGE[i] = Σ_{t≥i} probs[t]
+	// (both length len(values)+1, cumLT[0] = cumGE[len] = 0). Built at
+	// construction so PrLess/PrGreater answer with one binary search
+	// instead of a linear sum — they sit inside the innermost loop of
+	// MembershipProb and the selection scratch rebuild.
+	cumLT []float64
+	cumGE []float64
 }
 
 // NewRD builds an RD from (value, probability) pairs. Duplicate values
@@ -80,7 +87,22 @@ func NewRD(values, probs []float64) (*RD, error) {
 		rd.values = append(rd.values, pr.v)
 		rd.probs = append(rd.probs, p)
 	}
+	rd.finalize()
 	return rd, nil
+}
+
+// finalize builds the cumulative-probability arrays; every constructor
+// calls it once the support is fixed.
+func (r *RD) finalize() {
+	n := len(r.values)
+	r.cumLT = make([]float64, n+1)
+	r.cumGE = make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		r.cumLT[i+1] = r.cumLT[i] + r.probs[i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		r.cumGE[i] = r.probs[i] + r.cumGE[i+1]
+	}
 }
 
 // MustRD is NewRD that panics on error (for tests and literals).
@@ -96,7 +118,17 @@ func MustRD(values, probs []float64) *RD {
 // becomes after probing (Section 3.4: "the RD changes from a regular
 // distribution to an impulse function").
 func Impulse(v float64) *RD {
-	return &RD{values: []float64{v}, probs: []float64{1}}
+	rd := &RD{values: []float64{v}, probs: []float64{1}}
+	rd.finalize()
+	return rd
+}
+
+// setImpulse re-points a single-support RD at v in place. Only
+// selection-owned scratch impulses use it — RDs handed out anywhere
+// else stay immutable. The cumulative arrays of an impulse do not
+// depend on the value, so they stay correct.
+func (r *RD) setImpulse(v float64) {
+	r.values[0] = v
 }
 
 // IsImpulse reports whether the RD has a single support point.
@@ -153,11 +185,7 @@ func (r *RD) PrGreater(v float64) float64 {
 	if i < len(r.values) && r.values[i] == v {
 		i++
 	}
-	p := 0.0
-	for ; i < len(r.values); i++ {
-		p += r.probs[i]
-	}
-	return p
+	return r.cumGE[i]
 }
 
 // PrEq returns P(X = v).
@@ -171,11 +199,8 @@ func (r *RD) PrEq(v float64) float64 {
 
 // PrLess returns P(X < v).
 func (r *RD) PrLess(v float64) float64 {
-	p := 0.0
-	for i := 0; i < len(r.values) && r.values[i] < v; i++ {
-		p += r.probs[i]
-	}
-	return p
+	// First index with value ≥ v; everything before it is below v.
+	return r.cumLT[sort.SearchFloat64s(r.values, v)]
 }
 
 // validate checks RD invariants; used by tests.
@@ -195,6 +220,9 @@ func (r *RD) validate() error {
 	}
 	if math.Abs(total-1) > probEpsilon {
 		return fmt.Errorf("core: RD probabilities sum to %v", total)
+	}
+	if len(r.cumLT) != len(r.values)+1 || len(r.cumGE) != len(r.values)+1 {
+		return fmt.Errorf("core: RD cumulative arrays not finalized")
 	}
 	return nil
 }

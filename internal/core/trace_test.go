@@ -111,22 +111,14 @@ func TestAProInitialSetWhenThresholdAlreadyMet(t *testing.T) {
 	}
 }
 
-// TestGreedyLastUsefulnessFallback: when every unprobed RD is an
-// impulse, Next falls back to the first candidate and reports the
-// current certainty as usefulness (an informationless probe).
-func TestGreedyLastUsefulnessFallback(t *testing.T) {
+// TestGreedyNextAllImpulses: when every unprobed RD is an impulse,
+// Next reports ErrNoInformativeProbe — a probe could only confirm a
+// known value, so there is no candidate worth choosing.
+func TestGreedyNextAllImpulses(t *testing.T) {
 	rds := []*RD{Impulse(100), Impulse(90)}
 	sel := NewSelectionFromRDs(rds, Absolute, 1)
-	_, current := sel.Best()
 	g := &Greedy{}
-	i, err := g.Next(sel, 0.999)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if i != 0 {
-		t.Errorf("fallback picked %d, want 0", i)
-	}
-	if g.LastUsefulness() != current {
-		t.Errorf("LastUsefulness = %v, want current %v", g.LastUsefulness(), current)
+	if _, err := g.Next(sel, 0.999); !errors.Is(err, ErrNoInformativeProbe) {
+		t.Fatalf("Next over impulses: err = %v, want ErrNoInformativeProbe", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -243,6 +244,15 @@ func probingCurve(env *Env, k int, metric core.Metric, maxProbes int) ([]float64
 				break
 			}
 			i, err := greedy.Next(sel, 1)
+			if errors.Is(err, core.ErrNoInformativeProbe) {
+				// Every remaining unprobed RD is an impulse: further
+				// probes cannot move the selection, so the curve stays
+				// flat for the rest of the budget.
+				for rest := p + 1; rest <= maxProbes; rest++ {
+					curve[rest] = curve[p]
+				}
+				break
+			}
 			if err != nil {
 				add(func() { firstErr = err })
 				return

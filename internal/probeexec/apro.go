@@ -105,9 +105,10 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 	first := true
 	for {
 		mark := s.BeginStage()
-		set, cur := s.Best()
+		set, cur := s.BestView()
 		s.EndStage(mark, core.StageECorDP)
-		out.Set, out.Certainty = set, cur
+		out.Set = append(out.Set[:0], set...)
+		out.Certainty = cur
 		if first {
 			out.Initial = cur
 			first = false
@@ -124,7 +125,7 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		if err := ctx.Err(); err != nil {
 			return finish(), fmt.Errorf("probeexec: selection abandoned: %w", err)
 		}
-		if len(s.Unprobed()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
+		if len(s.UnprobedView()) == 0 || (maxProbes >= 0 && out.Probes() >= maxProbes) {
 			if len(excluded) > 0 {
 				e.degraded.Inc()
 			}
@@ -140,6 +141,15 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		if m == 1 || ranker == nil {
 			i, err := policy.Next(s, t)
 			if err != nil {
+				if errors.Is(err, core.ErrNoInformativeProbe) {
+					// Every remaining unprobed RD is an impulse — stop
+					// with the best available set instead of issuing
+					// informationless probes (Reached stays false).
+					if len(excluded) > 0 {
+						e.degraded.Inc()
+					}
+					return finish(), nil
+				}
 				return finish(), fmt.Errorf("probeexec: probe policy %s: %w", policy.Name(), err)
 			}
 			if s.Probed(i) {
@@ -152,6 +162,12 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 		} else {
 			dbs, us, err := ranker.Rank(s, t, m)
 			if err != nil {
+				if errors.Is(err, core.ErrNoInformativeProbe) {
+					if len(excluded) > 0 {
+						e.degraded.Inc()
+					}
+					return finish(), nil
+				}
 				return finish(), fmt.Errorf("probeexec: probe policy %s: %w", policy.Name(), err)
 			}
 			for idx, i := range dbs {
@@ -201,12 +217,13 @@ func (e *Executor) APro(ctx context.Context, s *core.Selection, name func(i int)
 			// which keeps the estimated RD of failed databases).
 			s.ApplyProbe(head, 0)
 			excluded = append(excluded, head)
+			out.ProbeErrs = append(out.ProbeErrs, r.err)
 			sp.AddEvent("backend_excluded", "backend", name(head), "error", r.err.Error())
 		} else {
 			s.ApplyProbe(head, r.v)
 		}
 		mark = s.BeginStage()
-		_, after := s.Best()
+		_, after := s.BestView()
 		s.EndStage(mark, core.StageECorDP)
 		out.Steps = append(out.Steps, core.ProbeStep{
 			DB: head, Value: r.v, Err: r.err, Usefulness: useful[head], CertaintyAfter: after,

@@ -20,10 +20,27 @@ func PoissonBinomialAtMost(k int, probs []float64) float64 {
 	if k >= len(probs) {
 		return 1
 	}
+	return PoissonBinomialAtMostInto(k, probs, make([]float64, k+1))
+}
+
+// PoissonBinomialAtMostInto is PoissonBinomialAtMost with a
+// caller-provided DP buffer of length ≥ k+1, letting hot paths run the
+// tail without allocating. The buffer is overwritten; the arithmetic
+// is identical to PoissonBinomialAtMost.
+func PoissonBinomialAtMostInto(k int, probs, dp []float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(probs) {
+		return 1
+	}
 	// dp[j] = P(exactly j successes among trials seen so far), j ≤ k;
 	// overflow (> k successes) is simply dropped, which is safe because
 	// the answer only sums dp[0..k].
-	dp := make([]float64, k+1)
+	dp = dp[:k+1]
+	for j := range dp {
+		dp[j] = 0
+	}
 	dp[0] = 1
 	for _, p := range probs {
 		if p < 0 {

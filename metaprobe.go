@@ -585,6 +585,7 @@ func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, flo
 	m.flushStages(rec, nil)
 	m.recordSLO(start, true)
 	m.observe(m.nextSelectionID(), "", query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
+	sel.Release()
 	return m.names(set), e, nil
 }
 
@@ -612,6 +613,11 @@ type SelectionResult struct {
 	Certainty float64
 	// Probes is the number of live probes spent.
 	Probes int
+	// ProbeFailures is the number of probe attempts that failed and
+	// marked their database unprobeable (or excluded it, on the
+	// context-aware paths). A selection can reach the certainty even
+	// after failures; this surfaces that it ran degraded.
+	ProbeFailures int
 	// Reached reports whether the requested certainty was met.
 	Reached bool
 	// Degraded reports that one or more backends were excluded from
@@ -676,12 +682,14 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	m.recordSLO(start, true)
 	id := m.nextSelectionID()
 	m.observe(id, "", query, metric, t, sel, out, start)
+	sel.Release()
 	return &SelectionResult{
-		ID:        id,
-		Databases: m.names(out.Set),
-		Certainty: out.Certainty,
-		Probes:    out.Probes(),
-		Reached:   out.Reached,
+		ID:            id,
+		Databases:     m.names(out.Set),
+		Certainty:     out.Certainty,
+		Probes:        out.Probes(),
+		ProbeFailures: len(out.ProbeErrs),
+		Reached:       out.Reached,
 	}, nil
 }
 
@@ -797,15 +805,17 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	sp.End()
 	m.recordSLO(start, true)
 	m.observe(id, sp.Trace(), query, metric, t, sel, res.Outcome, start)
+	sel.Release()
 	out := &SelectionResult{
-		ID:          id,
-		TraceID:     sp.Trace(),
-		Databases:   m.names(res.Set),
-		Certainty:   res.Certainty,
-		Probes:      res.Probes(),
-		Reached:     res.Reached,
-		Degraded:    res.Degraded,
-		ExcludedDBs: m.names(res.Excluded),
+		ID:            id,
+		TraceID:       sp.Trace(),
+		Databases:     m.names(res.Set),
+		Certainty:     res.Certainty,
+		Probes:        res.Probes(),
+		ProbeFailures: len(res.ProbeErrs),
+		Reached:       res.Reached,
+		Degraded:      res.Degraded,
+		ExcludedDBs:   m.names(res.Excluded),
 	}
 	if acct != nil {
 		sum := acct.Summary()
