@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/corpus"
@@ -393,6 +394,30 @@ func BenchmarkRDConvolve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if sel := env.Model.NewSelection(q.String(), q.NumTerms(), core.Absolute, 3); sel == nil {
+			b.Fatal("nil selection")
+		}
+	}
+}
+
+// BenchmarkNewSelection measures building the per-query state through
+// a ModelVersion's precomputed RD table into a recycled shell — the
+// table-lookup serving path that replaced per-query RD derivation.
+// BenchmarkRDConvolve above is kept unchanged as the from-scratch
+// comparator: the gap between the two is what precomputation buys.
+func BenchmarkNewSelection(b *testing.B) {
+	env := benchEnv(b)
+	ver := core.NewModelVersion(env.Model, "bench", time.Now())
+	qs := env.Test
+	sel := &core.Selection{}
+	for i := 0; i < 3; i++ {
+		q := qs[i%len(qs)]
+		ver.FillSelection(sel, q.String(), q.NumTerms(), core.Absolute, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if ver.FillSelection(sel, q.String(), q.NumTerms(), core.Absolute, 3) == nil {
 			b.Fatal("nil selection")
 		}
 	}

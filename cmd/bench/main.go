@@ -208,7 +208,7 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 3, "databases to select")
 	flag.Float64Var(&cfg.t, "t", 0.9, "certainty threshold for the apro tier")
 	flag.DurationVar(&cfg.probeDelay, "probe-delay", 25*time.Millisecond, "injected per-probe latency for the context tiers")
-	flag.BoolVar(&cfg.micro, "micro", false, "run in-process microbenchmarks (Select, ObserveProbe, RD convolution) into the report's micro section")
+	flag.BoolVar(&cfg.micro, "micro", false, "run in-process microbenchmarks (Select, ObserveProbe, RD convolution, table-lookup selection build) into the report's micro section")
 	flag.StringVar(&cfg.gobench, "gobench", "", "parse `go test -bench -benchmem` output from this file into the report's gobench section")
 	flag.StringVar(&cfg.baseline, "baseline", "", "compare the report against this baseline BENCH_<label>.json and exit 1 on regression")
 	flag.BoolVar(&cfg.compareOnly, "compare-only", false, "skip the workload tiers; only run -micro / parse -gobench and diff against -baseline")

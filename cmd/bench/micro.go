@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"testing"
+	"time"
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/experiments"
@@ -92,12 +93,33 @@ func runMicro(cfg benchConfig, log *slog.Logger) (map[string]microResult, error)
 
 	// RD convolution: derive every database's relevancy distribution
 	// for a fresh query (estimate → classify → convolve the ED) —
-	// the rd_convolve stage in isolation.
+	// the rd_convolve stage in isolation. Kept as the from-scratch
+	// comparator for new_selection below.
 	record("rd_convolve", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			q := qs[i%len(qs)]
 			if sel := env.Model.NewSelection(q.String(), q.NumTerms(), core.Absolute, k); sel == nil {
+				b.Fatal("nil selection")
+			}
+		}
+	})
+
+	// Table-lookup selection build: the same per-query state served
+	// from a ModelVersion's precomputed RD table into a recycled
+	// shell — the refactored serving path.
+	record("new_selection", func(b *testing.B) {
+		ver := core.NewModelVersion(env.Model, "bench", time.Now())
+		sel := &core.Selection{}
+		for i := 0; i < 3; i++ {
+			q := qs[i%len(qs)]
+			ver.FillSelection(sel, q.String(), q.NumTerms(), core.Absolute, k)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := qs[i%len(qs)]
+			if ver.FillSelection(sel, q.String(), q.NumTerms(), core.Absolute, k) == nil {
 				b.Fatal("nil selection")
 			}
 		}

@@ -68,6 +68,11 @@ func runServiceTiers(preset string, cfg benchConfig, env *presetEnv, log *slog.L
 	if err != nil {
 		return nil, err
 	}
+	// Stage attribution rides the tenant's shared metrics registry, so
+	// the service tier reports where its selection time goes (the
+	// rd_convolve lookup cost, the DP, ranking, probes) like the
+	// direct tiers do.
+	idle.result.Stages = stagesFrom(reg)
 	// The daemon must not change answers: replay the workload through
 	// the engine directly and require set-and-certainty equality.
 	match, err := serviceMatchesDirect(cfg, senv, idle.answers)

@@ -197,7 +197,12 @@ func (m *Model) RDFor(dbIdx int, query string, numTerms int) (*RD, float64) {
 			return rd, rhat
 		}
 	}
-	// No usable error model: trust the estimate outright.
+	// No usable error model: trust the estimate outright. The r̂ = 0
+	// case — by far the most common cold regime — serves the shared
+	// read-only impulse instead of allocating one per query.
+	if rhat == 0 {
+		return zeroImpulse, rhat
+	}
 	return Impulse(rhat), rhat
 }
 
@@ -237,6 +242,14 @@ type Selection struct {
 	// impulses are selection-owned impulse RDs reused by ApplyProbe
 	// (one per database) so steady-state probing does not allocate.
 	impulses []*RD
+	// derived are selection-owned RD headers for the table-lookup path
+	// (ModelVersion.FillSelection): each holds the version template's
+	// support scaled by this query's estimate in derivedVals, sharing
+	// the template's probabilities and cumulative tails (both are
+	// scale-invariant). Reused across fills, so steady-state selection
+	// building allocates nothing.
+	derived     []*RD
+	derivedVals [][]float64
 	// unprobedBuf caches the unprobed index list for UnprobedView.
 	unprobedBuf   []int
 	unprobedStale bool
@@ -339,8 +352,10 @@ func (s *Selection) ApplyProbe(i int, value float64) {
 // ownedImpulse returns the selection's reusable impulse RD for
 // database i, re-pointed at v.
 func (s *Selection) ownedImpulse(i int, v float64) *RD {
-	if s.impulses == nil {
-		s.impulses = make([]*RD, len(s.rds))
+	if len(s.impulses) < len(s.rds) {
+		imps := make([]*RD, len(s.rds))
+		copy(imps, s.impulses)
+		s.impulses = imps
 	}
 	if s.impulses[i] == nil {
 		s.impulses[i] = Impulse(v)
@@ -348,6 +363,82 @@ func (s *Selection) ownedImpulse(i int, v float64) *RD {
 		s.impulses[i].setImpulse(v)
 	}
 	return s.impulses[i]
+}
+
+// setScaledRD points slot i at a selection-owned RD whose support is
+// tmpl's multiplied by rhat (> 0), sharing tmpl's probabilities and
+// cumulative tails. This is the table-lookup path's per-query RD: the
+// template support is (1 + e_bin), so rhat·support is the identical
+// expression the from-scratch ED.RD(rhat) computes. Returns false —
+// installing nothing — when the scaled support is unusable (two
+// points collide after rounding, or the product overflows); the
+// caller then falls back to the from-scratch derivation.
+func (s *Selection) setScaledRD(i int, tmpl *RD, rhat float64) bool {
+	n := len(s.rds)
+	if len(s.derived) < n {
+		d := make([]*RD, n)
+		copy(d, s.derived)
+		s.derived = d
+		dv := make([][]float64, n)
+		copy(dv, s.derivedVals)
+		s.derivedVals = dv
+	}
+	buf := s.derivedVals[i]
+	if cap(buf) < tmpl.Len() {
+		buf = make([]float64, tmpl.Len())
+	}
+	buf = buf[:tmpl.Len()]
+	s.derivedVals[i] = buf
+	prev := math.Inf(-1)
+	for j, v := range tmpl.values {
+		sv := rhat * v
+		if !(sv > prev) || math.IsInf(sv, 1) { // also catches NaN
+			return false
+		}
+		buf[j] = sv
+		prev = sv
+	}
+	d := s.derived[i]
+	if d == nil {
+		d = &RD{}
+		s.derived[i] = d
+	}
+	d.values = buf
+	d.probs = tmpl.probs
+	d.cumLT = tmpl.cumLT
+	d.cumGE = tmpl.cumGE
+	s.rds[i] = d
+	return true
+}
+
+// reset re-initializes the selection as an empty unprobed state for n
+// databases, reusing every backing array — the shell half of
+// ModelVersion.FillSelection. Options, stage observer and the
+// reference-path pin are cleared; the caller re-attaches what it
+// needs.
+func (s *Selection) reset(query string, metric Metric, k, n int) {
+	s.Metric, s.K, s.Query = metric, k, query
+	s.opts = BestSetOptions{}
+	s.stageObs = nil
+	s.noScratch = false
+	if cap(s.rds) < n {
+		s.rds = make([]*RD, n)
+	}
+	s.rds = s.rds[:n]
+	if cap(s.estimates) < n {
+		s.estimates = make([]float64, n)
+	}
+	s.estimates = s.estimates[:n]
+	if cap(s.probed) < n {
+		s.probed = make([]bool, n)
+	}
+	s.probed = s.probed[:n]
+	for i := range s.probed {
+		s.probed[i] = false
+	}
+	s.hypDepth, s.hypVI = 0, -1
+	s.unprobedStale = true
+	s.invalidate()
 }
 
 // invalidate marks the incremental scratch stale after an RD changed.
@@ -436,10 +527,13 @@ func (s *Selection) Release() {
 // of src — same metric, k, query, options and RDs — reusing this
 // selection's backing arrays and scratch. It is the zero-allocation
 // way to run many selections over one template state (benchmarks,
-// replay harnesses). src is typically a pristine template: RDs src
-// obtained from the model are immutable and safely shared, while any
-// probed entries are copied into selection-owned impulses so later
-// probing of either selection cannot alias the other.
+// replay harnesses). src is typically a pristine template: immutable
+// RDs (model-derived distributions, the version table's shared
+// entries) are safely shared, while src-owned mutable state — impulse
+// RDs (probed or cold-key) and table-derived scaled RDs, whose
+// buffers src would overwrite on its next fill — is copied into this
+// selection's own impulses and derived buffers, so neither selection
+// can alias the other afterwards.
 func (s *Selection) Reuse(src *Selection) {
 	s.Metric, s.K, s.Query = src.Metric, src.K, src.Query
 	s.opts = src.opts
@@ -451,8 +545,14 @@ func (s *Selection) Reuse(src *Selection) {
 	s.probed = s.probed[:len(src.probed)]
 	copy(s.probed, src.probed)
 	for i, rd := range s.rds {
-		if s.probed[i] && rd.IsImpulse() {
+		switch {
+		case rd.IsImpulse():
 			s.rds[i] = s.ownedImpulse(i, rd.Value(0))
+		case i < len(src.derived) && rd == src.derived[i]:
+			// Scaling by 1 copies the support exactly while sharing the
+			// immutable template probabilities; it cannot fail on an
+			// already-valid support.
+			s.setScaledRD(i, rd, 1)
 		}
 	}
 	s.hypDepth, s.hypVI = 0, -1

@@ -131,6 +131,14 @@ func (r *RD) setImpulse(v float64) {
 	r.values[0] = v
 }
 
+// zeroImpulse is the shared read-only impulse at relevancy 0 — the
+// result for the overwhelmingly common cold regime (r̂ = 0, never
+// observed). RDFor and the version RD table hand it out instead of
+// allocating a fresh impulse per query. Like every published RD it
+// must never be mutated: ApplyProbe replaces selection entries, and
+// setImpulse is reserved for selection-owned impulses.
+var zeroImpulse = Impulse(0)
+
 // IsImpulse reports whether the RD has a single support point.
 func (r *RD) IsImpulse() bool { return len(r.values) == 1 }
 

@@ -1,0 +1,299 @@
+package core
+
+// Precomputed RD tables: the per-query cost of NewSelection used to be
+// dominated by RD derivation — for every database: estimate, classify,
+// then convolve the error distribution into a relevancy distribution
+// (Model.RDFor). The EDs are immutable between refreshes, so that
+// convolution work is a pure function of (database, query type) plus a
+// per-query scale: for the relative-error bands, ED.RD(r̂) produces
+// values r̂·(1 + e_bin) with probabilities that do not depend on r̂ at
+// all, and for the r̂ = 0 band the whole RD is independent of r̂.
+//
+// A ModelVersion therefore carries an rdTable: one entry per
+// (database, classifier key), built when the version is published
+// (NewModelVersion / Next) and rebuilt lazily after invalidation.
+// Entries come in three kinds:
+//
+//   - rdEntryScaled: a template RD built with ED.RD(1), so its support
+//     is exactly the per-bin factors (1 + e_bin). A selection derives
+//     the query's RD by multiplying the template support by r̂ — the
+//     identical float expression r̂·(1 + e_bin) the from-scratch path
+//     computes, so table-lookup selections are bit-equal to
+//     RDFor-derived ones — while sharing the template's probabilities
+//     and cumulative tails (both scale-invariant).
+//   - rdEntryAbsolute: the r̂ = 0 band's RD, shared outright (its
+//     values ignore r̂).
+//   - rdEntryCold: no usable error model for the key; selections fall
+//     back to an impulse at the estimate, exactly like RDFor.
+//
+// Coherence: table rows are atomic pointers. Online refinement
+// (ModelVersion.ObserveProbe) mutates ED histograms in place and then
+// clears the affected database's rows, so the next selection rebuilds
+// them from the refined histograms. Version swaps need no coordination
+// at all — a refresh (ModelVersion.Next) derives the successor's table
+// copy-on-write, sharing every row whose underlying EDs are untouched
+// and rebuilding only the retrained ones; old versions keep their
+// tables until released, so in-flight selections never see a torn or
+// stale row. Callers must serialize ED mutation with table reads on
+// the same version (the facade's modelMu does); published RDs are
+// read-only everywhere — ApplyProbe replaces entries, never mutates.
+
+import (
+	"math"
+	"sync/atomic"
+
+	"metaprobe/internal/summary"
+)
+
+// termsEstimator is the optional batch face of a relevancy estimator
+// (DocFrequency implements it): Terms normalizes the query once,
+// EstimateTerms reuses the result per summary with bit-identical
+// output to Estimate. FillSelection uses it to tokenize one query once
+// across all databases instead of once per database.
+type termsEstimator interface {
+	Terms(query string) []string
+	EstimateTerms(s *summary.Summary, terms []string) float64
+}
+
+// rdEntryKind discriminates how a table entry turns into a per-query
+// RD.
+type rdEntryKind uint8
+
+const (
+	// rdEntryCold marks a key with no usable error model: serve an
+	// impulse at the query's estimate (RDFor's final fallback).
+	rdEntryCold rdEntryKind = iota
+	// rdEntryScaled holds an ED.RD(1) template whose support must be
+	// multiplied by the query's estimate.
+	rdEntryScaled
+	// rdEntryAbsolute holds the finished RD of an absolute-value
+	// (BandZero) ED, shared as-is.
+	rdEntryAbsolute
+)
+
+// rdEntry is one immutable (database, query-type) table row.
+type rdEntry struct {
+	kind rdEntryKind
+	rd   *RD // nil for rdEntryCold
+}
+
+// coldRDEntry is the shared row for keys without a usable error model.
+var coldRDEntry = &rdEntry{kind: rdEntryCold}
+
+// rdTable is a ModelVersion's precomputed RD lookup: a dense
+// (database × classifier key) grid of atomic row pointers. A nil row
+// means "not built yet" — entry() rebuilds it from the model on
+// demand, which is also how invalidation after online refinement
+// repopulates.
+type rdTable struct {
+	// nKeys is the classifier's key-space size (effective MaxTerms × 3
+	// bands); rows are indexed db*nKeys + (Terms-1)*3 + Band.
+	nKeys int
+	rows  []atomic.Pointer[rdEntry]
+}
+
+// classifierKeySpace returns the dense key-space size for c, matching
+// Classify's clamping (MaxTerms ≤ 0 defaults to 4).
+func classifierKeySpace(c Classifier) int {
+	maxTerms := c.MaxTerms
+	if maxTerms <= 0 {
+		maxTerms = 4
+	}
+	return maxTerms * 3
+}
+
+// newRDTable allocates an empty table shaped for m.
+func newRDTable(m *Model) *rdTable {
+	nKeys := classifierKeySpace(m.Cfg.Classifier)
+	return &rdTable{nKeys: nKeys, rows: make([]atomic.Pointer[rdEntry], len(m.DBs)*nKeys)}
+}
+
+// idx maps (database, key) to the dense row index. Classify clamps
+// Terms into [1, MaxTerms] and Band into the three bands, so the index
+// is always in range for keys it produced.
+func (t *rdTable) idx(dbIdx int, key TypeKey) int {
+	return dbIdx*t.nKeys + (key.Terms-1)*3 + int(key.Band)
+}
+
+// keyAt is idx's inverse for the per-db key offset.
+func keyAt(k int) TypeKey {
+	return TypeKey{Terms: k/3 + 1, Band: EstimateBand(k % 3)}
+}
+
+// entry returns the row for (dbIdx, key), building it from the model's
+// current EDs when the row was never built or was invalidated. Builds
+// are deterministic for a quiescent model, so concurrent builders
+// racing on the same row store equivalent entries; callers must still
+// serialize entry() with ED mutation (ModelVersion.ObserveProbe).
+func (t *rdTable) entry(m *Model, dbIdx int, key TypeKey) *rdEntry {
+	row := &t.rows[t.idx(dbIdx, key)]
+	if e := row.Load(); e != nil {
+		return e
+	}
+	e := buildRDEntry(m, dbIdx, key)
+	row.Store(e)
+	return e
+}
+
+// buildRDEntry preconvolves one (database, key) row, replicating
+// RDFor's exact fallback chain: the key's own ED when trusted, else
+// the pooled ED for the relative bands, else cold.
+func buildRDEntry(m *Model, dbIdx int, key TypeKey) *rdEntry {
+	dm := m.DBs[dbIdx]
+	if ed, ok := dm.EDs[key]; ok && ed.Observations() >= m.Cfg.MinObservations {
+		if key.Band == BandZero {
+			if rd, err := ed.RD(0); err == nil {
+				return &rdEntry{kind: rdEntryAbsolute, rd: rd}
+			}
+		} else if rd, err := ed.RD(1); err == nil {
+			return &rdEntry{kind: rdEntryScaled, rd: rd}
+		}
+	}
+	if key.Band != BandZero && dm.Pooled != nil && dm.Pooled.Observations() >= m.Cfg.MinObservations {
+		if rd, err := dm.Pooled.RD(1); err == nil {
+			return &rdEntry{kind: rdEntryScaled, rd: rd}
+		}
+	}
+	return coldRDEntry
+}
+
+// prebuild materializes every unbuilt row, so a freshly published
+// version pays the convolution cost once, off the query path.
+func (t *rdTable) prebuild(m *Model) {
+	for db := range m.DBs {
+		base := db * t.nKeys
+		for k := 0; k < t.nKeys; k++ {
+			row := &t.rows[base+k]
+			if row.Load() == nil {
+				row.Store(buildRDEntry(m, db, keyAt(k)))
+			}
+		}
+	}
+}
+
+// invalidateDB clears one database's rows after its EDs changed in
+// place (online refinement also feeds the pooled ED, so the whole
+// database — a dozen pointers — is cleared rather than one key).
+func (t *rdTable) invalidateDB(dbIdx int) {
+	base := dbIdx * t.nKeys
+	for k := 0; k < t.nKeys; k++ {
+		t.rows[base+k].Store(nil)
+	}
+}
+
+// derive builds the successor version's table copy-on-write against
+// this one: databases whose DBModel pointer is unchanged share all
+// rows; a replaced DBModel (a refresh commit) shares the rows whose ED
+// pointers — including the pooled fallback every relative-band row may
+// depend on — are identical, and rebuilds only the retrained ones.
+// Works from a nil receiver (a version built outside NewModelVersion)
+// by building everything fresh.
+func (t *rdTable) derive(oldM, newM *Model) *rdTable {
+	out := newRDTable(newM)
+	if t != nil && oldM != nil && t.nKeys == out.nKeys {
+		n := len(newM.DBs)
+		if len(oldM.DBs) < n {
+			n = len(oldM.DBs)
+		}
+		for db := 0; db < n; db++ {
+			od, nd := oldM.DBs[db], newM.DBs[db]
+			switch {
+			case od == nd:
+				for k := 0; k < out.nKeys; k++ {
+					out.rows[db*out.nKeys+k].Store(t.rows[db*t.nKeys+k].Load())
+				}
+			case od.Pooled == nd.Pooled:
+				for k := 0; k < out.nKeys; k++ {
+					key := keyAt(k)
+					if od.EDs[key] == nd.EDs[key] {
+						out.rows[db*out.nKeys+k].Store(t.rows[db*t.nKeys+k].Load())
+					}
+				}
+			}
+		}
+	}
+	out.prebuild(newM)
+	return out
+}
+
+// NewSelection builds the initial (unprobed) state for a query through
+// the version's RD table — the table-lookup counterpart of
+// Model.NewSelection, producing bit-identical selections.
+func (v *ModelVersion) NewSelection(query string, numTerms int, metric Metric, k int) *Selection {
+	return v.FillSelection(nil, query, numTerms, metric, k)
+}
+
+// FillSelection re-initializes sel in place as the initial unprobed
+// state for a query, deriving every database's RD from the version's
+// table: a shared RD for the absolute band, the template support
+// scaled by the estimate for the relative bands (into selection-owned
+// buffers, sharing the template's probabilities and cumulative tails),
+// and a reusable impulse for cold keys. sel may be nil (one is
+// allocated) or a recycled shell from any earlier query or model
+// version — every field is rewritten, so after warm-up the fill
+// allocates nothing. Returns sel for chaining.
+//
+// Callers must serialize FillSelection with ED mutation on the same
+// version (ModelVersion.ObserveProbe); concurrent fills against a
+// version swap are safe.
+func (v *ModelVersion) FillSelection(sel *Selection, query string, numTerms int, metric Metric, k int) *Selection {
+	if sel == nil {
+		sel = &Selection{}
+	}
+	m := v.Model
+	n := len(m.DBs)
+	sel.reset(query, metric, k, n)
+	tab := v.rdtab
+	te, batch := m.Rel.(termsEstimator)
+	var terms []string
+	if batch {
+		terms = te.Terms(query)
+	}
+	for i := 0; i < n; i++ {
+		if tab == nil {
+			// A version assembled outside NewModelVersion/Next carries no
+			// table; serve from scratch.
+			sel.rds[i], sel.estimates[i] = m.RDFor(i, query, numTerms)
+			continue
+		}
+		var rhat float64
+		if batch {
+			rhat = te.EstimateTerms(m.Summaries.Summaries[i], terms)
+		} else {
+			rhat = m.Rel.Estimate(m.Summaries.Summaries[i], query)
+		}
+		sel.estimates[i] = rhat
+		key := m.Cfg.Classifier.Classify(numTerms, rhat)
+		e := tab.entry(m, i, key)
+		switch {
+		case e.kind == rdEntryAbsolute:
+			sel.rds[i] = e.rd
+		case e.kind == rdEntryScaled && rhat > 0 && !math.IsInf(rhat, 1) && sel.setScaledRD(i, e.rd, rhat):
+			// setScaledRD installed the derived RD.
+		case e.kind == rdEntryCold && rhat == 0:
+			sel.rds[i] = zeroImpulse
+		case e.kind == rdEntryCold:
+			sel.rds[i] = sel.ownedImpulse(i, rhat)
+		default:
+			// Scaled-entry pathologies — a non-finite estimate, or two
+			// support points colliding after scaling — take the
+			// from-scratch derivation for this database (rare, correct).
+			sel.rds[i], sel.estimates[i] = m.RDFor(i, query, numTerms)
+		}
+	}
+	return sel
+}
+
+// ObserveProbe folds a live probe observation into this version's
+// model (Model.ObserveProbe) and invalidates the affected database's
+// RD table rows, so subsequent selections re-derive from the refined
+// histograms instead of serving stale distributions. Callers must hold
+// whatever lock serializes selections against refinement (the facade's
+// modelMu).
+func (v *ModelVersion) ObserveProbe(dbIdx int, query string, numTerms int, actual float64) error {
+	err := v.Model.ObserveProbe(dbIdx, query, numTerms, actual)
+	if v.rdtab != nil && dbIdx >= 0 && dbIdx < len(v.Model.DBs) {
+		v.rdtab.invalidateDB(dbIdx)
+	}
+	return err
+}

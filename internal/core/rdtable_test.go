@@ -1,0 +1,353 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// requireSameSelection pins a table-lookup selection against the
+// from-scratch reference bit for bit: estimates, RD supports,
+// probabilities and cumulative tails must be identical floats, and the
+// selected set and its certainty must match exactly.
+func requireSameSelection(t *testing.T, got, want *Selection, ctx string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d databases, want %d", ctx, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Estimate(i) != want.Estimate(i) {
+			t.Fatalf("%s: db %d estimate %v, want %v", ctx, i, got.Estimate(i), want.Estimate(i))
+		}
+		g, w := got.RD(i), want.RD(i)
+		if g.Len() != w.Len() {
+			t.Fatalf("%s: db %d RD has %d points, want %d", ctx, i, g.Len(), w.Len())
+		}
+		for j := 0; j < w.Len(); j++ {
+			if g.Value(j) != w.Value(j) || g.Prob(j) != w.Prob(j) {
+				t.Fatalf("%s: db %d point %d (%v, %v), want (%v, %v)",
+					ctx, i, j, g.Value(j), g.Prob(j), w.Value(j), w.Prob(j))
+			}
+		}
+		for j := 0; j <= w.Len(); j++ {
+			if g.cumLT[j] != w.cumLT[j] || g.cumGE[j] != w.cumGE[j] {
+				t.Fatalf("%s: db %d cumulative %d differs", ctx, i, j)
+			}
+		}
+		if err := g.validate(); err != nil {
+			t.Fatalf("%s: db %d invalid RD: %v", ctx, i, err)
+		}
+	}
+	gSet, gE := got.Best()
+	wSet, wE := want.Best()
+	if gE != wE || len(gSet) != len(wSet) {
+		t.Fatalf("%s: best (%v, %v), want (%v, %v)", ctx, gSet, gE, wSet, wE)
+	}
+	for i := range wSet {
+		if gSet[i] != wSet[i] {
+			t.Fatalf("%s: best set %v, want %v", ctx, gSet, wSet)
+		}
+	}
+}
+
+// TestVersionSelectionMatchesModel is the core differential: for every
+// held-out query, the RD-table path (ModelVersion.NewSelection) must
+// produce exactly the selection the from-scratch path (RDFor per
+// database) produces — same floats, same set — for both metrics and
+// several k, with and without shell reuse.
+func TestVersionSelectionMatchesModel(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	ver := NewModelVersion(model, "train", time.Now())
+	shell := &Selection{}
+	for _, metric := range []Metric{Absolute, Partial} {
+		for _, k := range []int{1, 3} {
+			for _, q := range test {
+				qs := q.String()
+				want := model.NewSelection(qs, q.NumTerms(), metric, k)
+				requireSameSelection(t, ver.NewSelection(qs, q.NumTerms(), metric, k), want, qs)
+				// The recycled-shell path must be identical to the fresh one.
+				requireSameSelection(t, ver.FillSelection(shell, qs, q.NumTerms(), metric, k), want, qs+" (reused shell)")
+				shell.Release()
+			}
+		}
+	}
+}
+
+// pickRetrainKey deterministically picks a trusted relative-band key
+// from db's ED map — the kind of key an online refresh retrains.
+func pickRetrainKey(t *testing.T, m *Model, dbIdx int) TypeKey {
+	t.Helper()
+	best, found := TypeKey{}, false
+	for key, ed := range m.DBs[dbIdx].EDs {
+		if key.Band == BandZero || ed.Observations() < m.Cfg.MinObservations {
+			continue
+		}
+		if !found || key.Terms < best.Terms || (key.Terms == best.Terms && key.Band < best.Band) {
+			best, found = key, true
+		}
+	}
+	if !found {
+		t.Fatalf("db %d has no trusted relative-band ED to retrain", dbIdx)
+	}
+	return best
+}
+
+// cowRefresh replicates the facade's refresh commit: a successor model
+// sharing every DBModel pointer except dbIdx's, which shares every ED
+// pointer (and the pooled ED) except the retrained key's. Returns the
+// model and the retrained key.
+func cowRefresh(t *testing.T, m *Model, dbIdx int) (*Model, TypeKey) {
+	t.Helper()
+	key := pickRetrainKey(t, m, dbIdx)
+	next := &Model{Cfg: m.Cfg, Rel: m.Rel, Summaries: m.Summaries, DBs: make([]*DBModel, len(m.DBs))}
+	copy(next.DBs, m.DBs)
+	src := m.DBs[dbIdx]
+	dm := &DBModel{Name: src.Name, Pooled: src.Pooled, EDs: make(map[TypeKey]*ED, len(src.EDs))}
+	for k, ed := range src.EDs {
+		dm.EDs[k] = ed
+	}
+	dm.EDs[key] = src.EDs[key].Clone()
+	next.DBs[dbIdx] = dm
+	return next, key
+}
+
+// TestRDTableRefreshSwapCOW checks the copy-on-write derivation across
+// ModelVersion.Next after a refresh-style commit: untouched databases
+// share their table rows by pointer, the retrained key's row is
+// rebuilt, the retrained database's other rows stay shared, and both
+// the old and new versions keep serving selections identical to their
+// own model's from-scratch path.
+func TestRDTableRefreshSwapCOW(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	ver := NewModelVersion(model, "train", time.Now())
+	const dbIdx = 0
+	nm, key := cowRefresh(t, model, dbIdx)
+	next := ver.Next(nm, "refresh", nm.DBs[dbIdx].Name, time.Now())
+
+	ot, nt := ver.rdtab, next.rdtab
+	for db := range model.DBs {
+		for k := 0; k < nt.nKeys; k++ {
+			oldRow := ot.rows[db*ot.nKeys+k].Load()
+			newRow := nt.rows[db*nt.nKeys+k].Load()
+			if newRow == nil {
+				t.Fatalf("db %d key %v: prebuild left a nil row", db, keyAt(k))
+			}
+			retrained := db == dbIdx && keyAt(k) == key
+			if retrained {
+				if newRow == oldRow {
+					t.Fatalf("retrained key %v row shared across Next", key)
+				}
+				if newRow.kind == rdEntryCold {
+					t.Fatalf("retrained key %v rebuilt as cold", key)
+				}
+			} else if newRow != oldRow {
+				t.Fatalf("db %d key %v: untouched row rebuilt instead of shared", db, keyAt(k))
+			}
+		}
+	}
+
+	// Both versions stay coherent with their own model.
+	for _, q := range test[:30] {
+		qs := q.String()
+		requireSameSelection(t, next.NewSelection(qs, q.NumTerms(), Absolute, 2),
+			nm.NewSelection(qs, q.NumTerms(), Absolute, 2), qs+" (new version)")
+		requireSameSelection(t, ver.NewSelection(qs, q.NumTerms(), Absolute, 2),
+			model.NewSelection(qs, q.NumTerms(), Absolute, 2), qs+" (old version)")
+	}
+}
+
+// TestObserveProbeInvalidatesRDTable checks RCU coherence with online
+// refinement: folding a probe into the version clears the refined
+// database's rows, and the next selection — rebuilt lazily from the
+// mutated histograms — again matches the from-scratch path exactly.
+func TestObserveProbeInvalidatesRDTable(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	ver := NewModelVersion(model, "train", time.Now())
+	for n, q := range test[:40] {
+		qs := q.String()
+		// Warm the rows, refine, then check invalidation and rebuild.
+		ver.NewSelection(qs, q.NumTerms(), Absolute, 2)
+		dbIdx := n % len(model.DBs)
+		if err := ver.ObserveProbe(dbIdx, qs, q.NumTerms(), float64(n%9)); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < ver.rdtab.nKeys; k++ {
+			if ver.rdtab.rows[dbIdx*ver.rdtab.nKeys+k].Load() != nil {
+				t.Fatalf("db %d key %v row not invalidated after ObserveProbe", dbIdx, keyAt(k))
+			}
+		}
+		requireSameSelection(t, ver.NewSelection(qs, q.NumTerms(), Absolute, 2),
+			model.NewSelection(qs, q.NumTerms(), Absolute, 2), qs+" (after refinement)")
+	}
+}
+
+// TestVersionSwapUnderTraffic hammers table-lookup fills against
+// concurrent online refinement and refresh-style version swaps; run
+// with -race it proves selections never see a torn or stale row. Fills
+// and ED mutation are serialized by a mutex (the facade's modelMu
+// contract); version publication itself needs no coordination.
+func TestVersionSwapUnderTraffic(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	var cur atomic.Pointer[ModelVersion]
+	cur.Store(NewModelVersion(model, "train", time.Now()))
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			sel := &Selection{}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := test[(seed*31+n)%len(test)]
+				qs := q.String()
+				mu.Lock()
+				v := cur.Load()
+				v.FillSelection(sel, qs, q.NumTerms(), Absolute, 2)
+				ref := v.Model.NewSelection(qs, q.NumTerms(), Absolute, 2)
+				mu.Unlock()
+				requireSameSelection(t, sel, ref, qs+" (under swap)")
+				sel.Release()
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for n := 0; n < 150; n++ {
+			q := test[n%len(test)]
+			mu.Lock()
+			v := cur.Load()
+			if err := v.ObserveProbe(n%len(v.Model.DBs), q.String(), q.NumTerms(), float64(n%7)); err != nil {
+				t.Error(err)
+			}
+			if n%10 == 9 {
+				dbIdx := n % len(v.Model.DBs)
+				nm, _ := cowRefresh(t, v.Model, dbIdx)
+				cur.Store(v.Next(nm, "refresh", nm.DBs[dbIdx].Name, time.Now()))
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestReuseDoesNotAliasTableState checks the read-only contract around
+// shared table RDs: a selection built from another via Reuse must own
+// its mutable state (probed impulses, table-derived scaled supports),
+// so refilling or probing the original never changes the copy.
+func TestReuseDoesNotAliasTableState(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	ver := NewModelVersion(model, "train", time.Now())
+	q1, q2 := test[0], test[1]
+	tmpl := ver.NewSelection(q1.String(), q1.NumTerms(), Absolute, 2)
+	tmpl.ApplyProbe(0, 3.5)
+
+	cp := &Selection{}
+	cp.Reuse(tmpl)
+	snapVals := make([][]float64, cp.Len())
+	snapProbs := make([][]float64, cp.Len())
+	for i := 0; i < cp.Len(); i++ {
+		snapVals[i] = cp.RD(i).Support()
+		snapProbs[i] = append([]float64(nil), cp.RD(i).probs...)
+	}
+
+	// Clobber the original: refill it for a different query (rewriting
+	// its derived buffers and impulses in place) and probe it again.
+	ver.FillSelection(tmpl, q2.String(), q2.NumTerms(), Absolute, 2)
+	tmpl.ApplyProbe(0, 99.0)
+
+	for i := 0; i < cp.Len(); i++ {
+		rd := cp.RD(i)
+		if rd.Len() != len(snapVals[i]) {
+			t.Fatalf("db %d: copy's RD length changed after original was refilled", i)
+		}
+		for j := range snapVals[i] {
+			if rd.Value(j) != snapVals[i][j] || rd.Prob(j) != snapProbs[i][j] {
+				t.Fatalf("db %d point %d: copy aliased the original's buffers", i, j)
+			}
+		}
+	}
+}
+
+// TestRDForSharesZeroImpulse checks the cold-regime fix: a database
+// with no usable error model and r̂ = 0 — by far the most common cold
+// case — serves the shared read-only impulse instead of allocating one
+// per query.
+func TestRDForSharesZeroImpulse(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	nm := model.Clone()
+	for _, dm := range nm.DBs {
+		for key := range dm.EDs {
+			if key.Band == BandZero {
+				delete(dm.EDs, key)
+			}
+		}
+	}
+	checked := false
+	for _, q := range test {
+		qs := q.String()
+		for i := range nm.DBs {
+			if nm.Rel.Estimate(nm.Summaries.Summaries[i], qs) != 0 {
+				continue
+			}
+			rd, rhat := nm.RDFor(i, qs, q.NumTerms())
+			if rhat != 0 || rd != zeroImpulse {
+				t.Fatalf("cold r̂=0 regime returned %v (r̂=%v), want the shared zero impulse", rd, rhat)
+			}
+			again, _ := nm.RDFor(i, qs, q.NumTerms())
+			if again != rd {
+				t.Fatalf("cold r̂=0 regime allocated a fresh impulse on repeat")
+			}
+			checked = true
+		}
+		if checked {
+			break
+		}
+	}
+	if !checked {
+		t.Skip("no (db, query) pair with r̂ = 0 in the testbed")
+	}
+}
+
+// TestFillSelectionSteadyStateAllocs guards the table-lookup fill's
+// allocation behavior: once a shell has warmed up, refilling it for new
+// queries must allocate nothing beyond the relevancy estimator's own
+// per-call cost (tokenization), which the from-scratch path pays too.
+func TestFillSelectionSteadyStateAllocs(t *testing.T) {
+	model, _, test := buildTrainedModel(t)
+	ver := NewModelVersion(model, "train", time.Now())
+	qs := make([]string, 8)
+	nt := make([]int, 8)
+	for i, q := range test[:8] {
+		qs[i], nt[i] = q.String(), q.NumTerms()
+	}
+	sel := &Selection{}
+	for i := range qs {
+		ver.FillSelection(sel, qs[i], nt[i], Absolute, 2)
+	}
+	var qi int
+	estOnly := testing.AllocsPerRun(100, func() {
+		j := qi % len(qs)
+		qi++
+		for i := range model.DBs {
+			model.Rel.Estimate(model.Summaries.Summaries[i], qs[j])
+		}
+	})
+	qi = 0
+	fill := testing.AllocsPerRun(100, func() {
+		j := qi % len(qs)
+		qi++
+		ver.FillSelection(sel, qs[j], nt[j], Absolute, 2)
+	})
+	if fill > estOnly {
+		t.Fatalf("steady-state FillSelection allocates %v objects per op, want at most the estimator's %v", fill, estOnly)
+	}
+}

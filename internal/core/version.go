@@ -30,22 +30,37 @@ type ModelVersion struct {
 	// RefreshedAt maps database name → the last time an online refresh
 	// rebuilt any of that database's EDs (carried across versions).
 	RefreshedAt map[string]time.Time
+	// rdtab is the version's precomputed RD table (rdtable.go):
+	// per-(database, query-type) templates preconvolved from the
+	// immutable EDs at publication and shared copy-on-write across
+	// Next. Unexported and derived — never serialized; loading a
+	// snapshot rebuilds it through NewModelVersion.
+	rdtab *rdTable
 }
 
-// NewModelVersion wraps a freshly trained or loaded model as version 1.
+// NewModelVersion wraps a freshly trained or loaded model as version
+// 1, preconvolving the model's RD table so selections serve from
+// lookups rather than re-deriving RDs per query.
 func NewModelVersion(m *Model, source string, now time.Time) *ModelVersion {
+	tab := newRDTable(m)
+	tab.prebuild(m)
 	return &ModelVersion{
 		Version:     1,
 		CreatedAt:   now,
 		Source:      source,
 		Model:       m,
 		RefreshedAt: make(map[string]time.Time),
+		rdtab:       tab,
 	}
 }
 
 // Next derives the successor version holding m. refreshedDB, when
 // non-empty, stamps that database's refresh time; the rest of the
-// refresh history carries over.
+// refresh history carries over. The successor's RD table is derived
+// copy-on-write: rows over EDs shared with this version's model are
+// shared, only rows over replaced EDs (the retrained key, a reloaded
+// model) are preconvolved anew. This version keeps its own table
+// untouched, so in-flight selections against it stay coherent.
 func (v *ModelVersion) Next(m *Model, source, refreshedDB string, now time.Time) *ModelVersion {
 	next := &ModelVersion{
 		Version:     v.Version + 1,
@@ -53,6 +68,7 @@ func (v *ModelVersion) Next(m *Model, source, refreshedDB string, now time.Time)
 		Source:      source,
 		Model:       m,
 		RefreshedAt: make(map[string]time.Time, len(v.RefreshedAt)+1),
+		rdtab:       v.rdtab.derive(v.Model, m),
 	}
 	for db, t := range v.RefreshedAt {
 		next.RefreshedAt[db] = t

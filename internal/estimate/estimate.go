@@ -82,7 +82,14 @@ func (d *DocFrequency) Terms(query string) []string {
 
 // Estimate implements Relevancy (Eq. 1).
 func (d *DocFrequency) Estimate(s *summary.Summary, query string) float64 {
-	terms := d.Terms(query)
+	return d.EstimateTerms(s, d.Terms(query))
+}
+
+// EstimateTerms is Estimate over pre-normalized terms (from Terms). It
+// computes the identical product in the identical order, so callers
+// estimating one query against many summaries can tokenize once and
+// get bit-equal results per database.
+func (d *DocFrequency) EstimateTerms(s *summary.Summary, terms []string) float64 {
 	if len(terms) == 0 {
 		return 0
 	}

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode"
 
 	"metaprobe/internal/core"
 	"metaprobe/internal/estimate"
@@ -334,6 +335,64 @@ type Metasearcher struct {
 	modelMu sync.Mutex
 	// selSeq numbers selections for trace/log correlation IDs.
 	selSeq atomic.Int64
+	// shellMu guards the recycled Selection shells below. It is a leaf
+	// lock (never held while taking modelMu).
+	shellMu sync.Mutex
+	// shellVer stamps the model version the cached shells were filled
+	// from. A version swap (refresh, reload) invalidates the cache:
+	// shells reference the old version's table RDs, and the next
+	// selection must serve the new tables.
+	shellVer *core.ModelVersion
+	// shells is a bounded LIFO of released Selection shells — the
+	// template selections behind the table-lookup serving path. Each
+	// query takes one, FillSelection rewrites it in place (warm derived
+	// buffers, owned impulses, zero allocations), and recycleSelection
+	// returns it once the selection is finished and unreferenced. A
+	// shell is never in the cache while a request holds it, so a
+	// template cannot be refilled while shared.
+	shells []*core.Selection
+}
+
+// maxSelShells bounds the recycled-shell cache; beyond it, shells are
+// dropped to the garbage collector (more than this many concurrent
+// selections simply allocate fresh state).
+const maxSelShells = 64
+
+// takeShell pops a recycled Selection shell filled against ver, or
+// returns nil when the cache is empty or was filled under another
+// version (the cache is then invalidated wholesale).
+func (m *Metasearcher) takeShell(ver *core.ModelVersion) *core.Selection {
+	m.shellMu.Lock()
+	defer m.shellMu.Unlock()
+	if m.shellVer != ver {
+		for i := range m.shells {
+			m.shells[i] = nil
+		}
+		m.shells = m.shells[:0]
+		m.shellVer = ver
+	}
+	if n := len(m.shells); n > 0 {
+		s := m.shells[n-1]
+		m.shells[n-1] = nil
+		m.shells = m.shells[:n-1]
+		return s
+	}
+	return nil
+}
+
+// recycleSelection releases sel's pooled scratch and hands the shell
+// back to the template cache for the next selection, provided the
+// serving version hasn't moved since it was filled (a stale shell
+// would pin the old version's RD tables in memory). Callers must not
+// touch sel afterwards.
+func (m *Metasearcher) recycleSelection(ver *core.ModelVersion, sel *core.Selection) {
+	sel.Release()
+	m.shellMu.Lock()
+	defer m.shellMu.Unlock()
+	if m.shellVer != ver || len(m.shells) >= maxSelShells {
+		return
+	}
+	m.shells = append(m.shells, sel)
 }
 
 // serving returns the serving model, nil before training.
@@ -575,7 +634,7 @@ func (m *Metasearcher) SelectBaseline(query string, k int) []string {
 func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, float64, error) {
 	start := m.obsNow()
 	rec := m.stageRecorder()
-	sel, err := m.selection(query, metric, k, rec)
+	sel, ver, err := m.selection(query, metric, k, rec)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -585,7 +644,7 @@ func (m *Metasearcher) Select(query string, k int, metric Metric) ([]string, flo
 	m.flushStages(rec, nil)
 	m.recordSLO(start, true)
 	m.observe(m.nextSelectionID(), "", query, metric, 0, sel, core.Outcome{Set: set, Certainty: e, Initial: e, Reached: true}, start)
-	sel.Release()
+	m.recycleSelection(ver, sel)
 	return m.names(set), e, nil
 }
 
@@ -659,15 +718,15 @@ func (m *Metasearcher) SelectWithPolicy(query string, k int, metric Metric, t fl
 func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t float64, maxProbes int, policy Policy) (*SelectionResult, error) {
 	start := m.obsNow()
 	rec := m.stageRecorder()
-	sel, err := m.selection(query, metric, k, rec)
+	sel, ver, err := m.selection(query, metric, k, rec)
 	if err != nil {
 		return nil, err
 	}
-	numTerms := len(strings.Fields(query))
+	numTerms := countTerms(query)
 	probe := func(i int) (float64, error) {
 		v, err := m.rel.Probe(m.tb.DB(i), query)
 		if err == nil {
-			if ferr := m.probeFeedback(sel, i, query, numTerms, v); ferr != nil {
+			if ferr := m.probeFeedback(i, query, numTerms, v); ferr != nil {
 				return 0, ferr
 			}
 		}
@@ -682,7 +741,7 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 	m.recordSLO(start, true)
 	id := m.nextSelectionID()
 	m.observe(id, "", query, metric, t, sel, out, start)
-	sel.Release()
+	m.recycleSelection(ver, sel)
 	return &SelectionResult{
 		ID:            id,
 		Databases:     m.names(out.Set),
@@ -695,30 +754,36 @@ func (m *Metasearcher) selectWithPolicy(query string, k int, metric Metric, t fl
 
 // probeFeedback folds one successful live probe back into the shared
 // model state (online refinement, drift detection). Both selection
-// paths route through it; probeMu makes the feedback safe when many
+// paths route through it; modelMu makes the feedback safe when many
 // selections — or one selection's speculative probes — land
 // concurrently, since Model.ObserveProbe mutates histograms the drift
-// detector also reads.
-func (m *Metasearcher) probeFeedback(sel *core.Selection, i int, query string, numTerms int, v float64) error {
+// detector also reads. The feedback deliberately does not touch the
+// selection it came from: a losing hedge attempt can deliver its probe
+// result after the winning attempt already finished the selection and
+// recycled its shell, so everything here is recomputed from the model.
+func (m *Metasearcher) probeFeedback(i int, query string, numTerms int, v float64) error {
 	if !m.cfg.OnlineRefinement && m.drift == nil {
 		return nil
 	}
 	m.modelMu.Lock()
 	defer m.modelMu.Unlock()
-	// Feedback lands on the current serving model, which may be newer
+	// Feedback lands on the current serving version, which may be newer
 	// than the version this selection was built from: fresh probe data
-	// belongs to whatever model serves next.
-	model := m.serving()
-	if model == nil {
+	// belongs to whatever model serves next. Routing through the
+	// version (rather than its model directly) invalidates the affected
+	// database's precomputed RD rows, so the next selection re-derives
+	// them from the refined histograms.
+	ver := m.version.Load()
+	if ver == nil {
 		return nil
 	}
 	if m.cfg.OnlineRefinement {
-		if err := model.ObserveProbe(i, query, numTerms, v); err != nil {
+		if err := ver.ObserveProbe(i, query, numTerms, v); err != nil {
 			return err
 		}
 	}
 	if m.drift != nil {
-		m.observeDrift(model, sel, i, numTerms, v)
+		m.observeDrift(ver.Model, i, query, numTerms, v)
 	}
 	return nil
 }
@@ -763,7 +828,7 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	sp.SetAttr("metric", metric.String())
 	sp.SetAttr("threshold", strconv.FormatFloat(t, 'g', -1, 64))
 	rec := m.stageRecorder()
-	sel, err := m.selection(query, metric, k, rec)
+	sel, ver, err := m.selection(query, metric, k, rec)
 	if err != nil {
 		sp.EndErr(err)
 		return nil, err
@@ -773,13 +838,13 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 		acct = obs.NewCostAccount()
 		ctx = obs.WithCost(ctx, acct)
 	}
-	numTerms := len(strings.Fields(query))
+	numTerms := countTerms(query)
 	probe := func(ctx context.Context, i int) (float64, error) {
 		// The bound-context view routes the relevancy prober's searches
 		// through SearchContext, so cancellation reaches the wire.
 		v, err := m.rel.Probe(hidden.WithContext(ctx, m.tb.DB(i)), query)
 		if err == nil {
-			if ferr := m.probeFeedback(sel, i, query, numTerms, v); ferr != nil {
+			if ferr := m.probeFeedback(i, query, numTerms, v); ferr != nil {
 				return 0, ferr
 			}
 		}
@@ -805,7 +870,7 @@ func (m *Metasearcher) selectWithPolicyContext(ctx context.Context, query string
 	sp.End()
 	m.recordSLO(start, true)
 	m.observe(id, sp.Trace(), query, metric, t, sel, res.Outcome, start)
-	sel.Release()
+	m.recycleSelection(ver, sel)
 	out := &SelectionResult{
 		ID:            id,
 		TraceID:       sp.Trace(),
@@ -858,9 +923,13 @@ func (m *Metasearcher) recordCost(numTerms int, sum *CostSummary) {
 // space the matching ED was trained in — quantized onto the ED's bin
 // support (see ED.ReferenceSample) so the KS comparison is apples to
 // apples. Probes whose query type has no trained ED are skipped; the
-// detector has no reference to test them against anyway.
-func (m *Metasearcher) observeDrift(model *core.Model, sel *core.Selection, i, numTerms int, actual float64) {
-	rhat := sel.Estimate(i)
+// detector has no reference to test them against anyway. The estimate
+// is recomputed from the model (summaries are shared across versions,
+// so the value is identical to what the selection was built with)
+// rather than read from the selection, which may already be recycled
+// when a losing hedge attempt delivers late.
+func (m *Metasearcher) observeDrift(model *core.Model, i int, query string, numTerms int, actual float64) {
+	rhat := model.Rel.Estimate(model.Summaries.Summaries[i], query)
 	key := model.Cfg.Classifier.Classify(numTerms, rhat)
 	ed, ok := model.DBs[i].EDs[key]
 	if !ok {
@@ -1064,38 +1133,64 @@ func (m *Metasearcher) fuse(ctx context.Context, query string, selRes *Selection
 	return items, nil
 }
 
-// selection builds the per-query state, requiring a trained model.
-// With a non-nil stage recorder the RD-convolution work (NewSelection:
-// estimate, classify, convolve every database's ED) is charged to the
+// selection builds the per-query state from the serving version's
+// precomputed RD table: a recycled shell (takeShell) is refilled in
+// place by ModelVersion.FillSelection — table lookups plus an estimate
+// shift per database instead of re-convolving every ED. It returns the
+// version the selection was filled from, for recycleSelection.
+//
+// With a non-nil stage recorder the RD work is still charged to the
 // rd_convolve stage — including any wait on modelMu, which is real
-// serving latency — and the recorder is attached to the selection so
-// the APro loops report the remaining stages to it.
-func (m *Metasearcher) selection(query string, metric Metric, k int, rec *obs.StageRecorder) (*core.Selection, error) {
+// serving latency — so the stage keeps reporting honestly; it has
+// shrunk to lookup cost, not disappeared from the waterfall. The
+// recorder is attached to the selection so the APro loops report the
+// remaining stages to it.
+func (m *Metasearcher) selection(query string, metric Metric, k int, rec *obs.StageRecorder) (*core.Selection, *core.ModelVersion, error) {
 	if !m.Trained() {
-		return nil, fmt.Errorf("metaprobe: model not trained; call Train first or use SelectBaseline")
+		return nil, nil, fmt.Errorf("metaprobe: model not trained; call Train first or use SelectBaseline")
 	}
 	if k <= 0 || k > m.tb.Len() {
-		return nil, fmt.Errorf("metaprobe: k=%d outside [1, %d]", k, m.tb.Len())
+		return nil, nil, fmt.Errorf("metaprobe: k=%d outside [1, %d]", k, m.tb.Len())
 	}
-	numTerms := len(strings.Fields(query))
+	numTerms := countTerms(query)
 	var stageStart time.Time
 	var stageAllocs uint64
 	if rec != nil {
 		stageStart, stageAllocs = time.Now(), core.ReadHeapAllocs()
 	}
-	// NewSelection reads the ED histograms that online refinement
-	// mutates; the lock makes selection building safe against probe
-	// feedback from concurrent selections and against a refresh swap
-	// mid-build. The returned Selection owns its RDs, so a version
-	// published later never affects this selection.
+	// FillSelection reads the ED histograms (for rows invalidated by
+	// online refinement) that ObserveProbe mutates; the lock makes
+	// selection building safe against probe feedback from concurrent
+	// selections and against a refresh swap mid-build. The filled
+	// Selection owns its mutable state, so a version published later
+	// never affects this selection.
 	m.modelMu.Lock()
-	sel := m.serving().NewSelection(query, numTerms, metric, k)
+	ver := m.version.Load()
+	sel := ver.FillSelection(m.takeShell(ver), query, numTerms, metric, k)
 	m.modelMu.Unlock()
 	if rec != nil {
 		rec.Observe(core.StageRDConvolve, time.Since(stageStart).Seconds(), core.ReadHeapAllocs()-stageAllocs)
 		sel.WithStageObserver(rec.Observe)
 	}
-	return sel.WithBestSetOptions(m.cfg.BestSet), nil
+	return sel.WithBestSetOptions(m.cfg.BestSet), ver, nil
+}
+
+// countTerms counts whitespace-separated terms without allocating; it
+// matches len(strings.Fields(q)) — fields split on unicode.IsSpace —
+// which the serving paths previously paid one slice allocation per
+// query for.
+func countTerms(q string) int {
+	n := 0
+	inField := false
+	for _, r := range q {
+		if unicode.IsSpace(r) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	return n
 }
 
 // stageRecorder returns a fresh per-selection stage recorder, or nil
@@ -1179,13 +1274,13 @@ type Explanation struct {
 // estimate, the error-corrected expected relevancy, and the membership
 // probability that drives selection. Requires a trained model.
 func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
-	sel, err := m.selection(query, Absolute, k, nil)
+	sel, ver, err := m.selection(query, Absolute, k, nil)
 	if err != nil {
 		return nil, err
 	}
-	classifier := m.serving().Cfg.Classifier
+	classifier := ver.Model.Cfg.Classifier
 	marginals := sel.Marginals()
-	numTerms := len(strings.Fields(query))
+	numTerms := countTerms(query)
 	out := make([]Explanation, m.tb.Len())
 	for i := range out {
 		rhat := sel.Estimate(i)
@@ -1197,6 +1292,7 @@ func (m *Metasearcher) Explain(query string, k int) ([]Explanation, error) {
 			QueryType:         classifier.Classify(numTerms, rhat).String(),
 		}
 	}
+	m.recycleSelection(ver, sel)
 	return out, nil
 }
 

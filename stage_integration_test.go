@@ -116,7 +116,7 @@ func TestStageAttributionDisabledByDefault(t *testing.T) {
 	if rec := ms.stageRecorder(); rec != nil {
 		t.Fatal("stage recorder created with observability disabled")
 	}
-	sel, err := ms.selection(queries[0], Absolute, 2, nil)
+	sel, _, err := ms.selection(queries[0], Absolute, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
